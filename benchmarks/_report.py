@@ -1,0 +1,25 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rows it produced (run ``pytest benchmarks/ --benchmark-only -s`` to see
+them inline). Key numbers are also attached to the pytest-benchmark
+``extra_info`` so they appear in saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a reproduced artifact with a recognizable banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}", flush=True)
+    for line in lines:
+        print(line, flush=True)
+    sys.stdout.flush()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once (no warmup rounds)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Figure 7: PCAPS carbon/ECT trade-off vs γ (prototype mode).
+
+Five degrees of carbon awareness relative to the Spark/Kubernetes default,
+DE grid. Carbon savings should grow with γ, steeply near γ -> 1, at the
+expense of longer end-to-end completion time.
+"""
+
+from repro.experiments.figures import pcaps_gamma_sweep
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.batch import WorkloadSpec
+
+from _report import emit, run_once
+
+GAMMAS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def _config():
+    return ExperimentConfig(
+        grid="DE",
+        mode="kubernetes",
+        num_executors=40,
+        per_job_cap=10,
+        workload=WorkloadSpec(family="tpch", num_jobs=25, mean_interarrival=45.0),
+        seed=5,
+    )
+
+
+def test_fig7_pcaps_gamma_sweep_prototype(benchmark):
+    points = run_once(
+        benchmark, pcaps_gamma_sweep, gammas=GAMMAS,
+        baseline="k8s-default", config=_config(),
+    )
+    lines = [f"{'gamma':>6} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"]
+    for p in points:
+        lines.append(
+            f"{p.parameter:>6.2f} {p.carbon_reduction_pct:>11.1f}% "
+            f"{p.ect_ratio:>7.3f} {p.jct_ratio:>7.3f}"
+        )
+    emit("Figure 7 — PCAPS γ sweep (prototype mode, DE)", lines)
+    benchmark.extra_info["points"] = [
+        (p.parameter, round(p.carbon_reduction_pct, 2), round(p.ect_ratio, 3))
+        for p in points
+    ]
+    # Carbon savings grow with γ (allowing small non-monotonic noise).
+    assert points[-1].carbon_reduction_pct > points[0].carbon_reduction_pct
+    assert max(p.carbon_reduction_pct for p in points) > 10.0

@@ -1,0 +1,45 @@
+"""Figure 8: CAP carbon/ECT trade-off vs B (prototype mode).
+
+Five minimum-quota settings relative to the Spark/Kubernetes default, DE
+grid. Lower B = more carbon-aware: more carbon saved, longer ECT, and a
+worse trade-off than PCAPS at matched savings (compare bench_fig07).
+"""
+
+from repro.experiments.figures import cap_b_sweep
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.batch import WorkloadSpec
+
+from _report import emit, run_once
+
+QUOTAS = (4, 8, 14, 22, 32)  # of K=40
+
+
+def _config():
+    return ExperimentConfig(
+        grid="DE",
+        mode="kubernetes",
+        num_executors=40,
+        per_job_cap=10,
+        workload=WorkloadSpec(family="tpch", num_jobs=25, mean_interarrival=45.0),
+        seed=5,
+    )
+
+
+def test_fig8_cap_b_sweep_prototype(benchmark):
+    points = run_once(
+        benchmark, cap_b_sweep, quotas=QUOTAS,
+        underlying="k8s-default", config=_config(),
+    )
+    lines = [f"{'B':>5} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"]
+    for p in points:
+        lines.append(
+            f"{p.parameter:>5.0f} {p.carbon_reduction_pct:>11.1f}% "
+            f"{p.ect_ratio:>7.3f} {p.jct_ratio:>7.3f}"
+        )
+    emit("Figure 8 — CAP B sweep (prototype mode, DE)", lines)
+    benchmark.extra_info["points"] = [
+        (p.parameter, round(p.carbon_reduction_pct, 2), round(p.ect_ratio, 3))
+        for p in points
+    ]
+    # Smaller B (more carbon-aware) saves more carbon.
+    assert points[0].carbon_reduction_pct > points[-1].carbon_reduction_pct

@@ -1,0 +1,45 @@
+"""Figure 9: per-trial average JCT vs per-job carbon, quadrant analysis.
+
+Each trial starts at a random point of the carbon trace; points are
+normalized so the Spark/Kubernetes default sits at (1, 1). The paper finds
+PCAPS below the carbon break-even line in 95.8% of trials and in the
+"cheaper AND faster" quadrant far more often than CAP (25.7% vs 2.1%).
+"""
+
+from repro.experiments.figures import fig9_perjob_trials
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.batch import WorkloadSpec
+
+from _report import emit, run_once
+
+
+def test_fig9_perjob_quadrants(benchmark):
+    config = ExperimentConfig(
+        mode="kubernetes",
+        num_executors=24,
+        per_job_cap=6,
+        workload=WorkloadSpec(family="tpch", num_jobs=15, mean_interarrival=45.0),
+    )
+    points, quadrants = run_once(
+        benchmark, fig9_perjob_trials, num_trials=10, config=config
+    )
+    lines = [f"{'scheduler':<18} {'trial':>5} {'JCT_ratio':>10} {'carbon_ratio':>13}"]
+    for p in points:
+        lines.append(
+            f"{p.scheduler:<18} {p.trial:>5} {p.jct_ratio:>10.3f} "
+            f"{p.carbon_ratio:>13.3f}"
+        )
+    for name, stats in quadrants.items():
+        lines.append(
+            f"{name}: {stats['less_carbon']:.1f}% of trials cut carbon; "
+            f"{stats['less_carbon_and_faster']:.1f}% cut carbon AND JCT"
+        )
+    emit("Figure 9 — per-job carbon vs JCT quadrants", lines)
+    benchmark.extra_info["quadrants"] = quadrants
+    # PCAPS cuts per-job carbon in the large majority of trials.
+    assert quadrants["pcaps"]["less_carbon"] >= 70.0
+    # PCAPS lands in the win-win quadrant at least as often as CAP.
+    assert (
+        quadrants["pcaps"]["less_carbon_and_faster"]
+        >= quadrants["cap-k8s-default"]["less_carbon_and_faster"]
+    )

@@ -1,0 +1,43 @@
+"""Figure 10: per-grid carbon reduction and ECT (prototype mode).
+
+PCAPS, CAP, and Decima against the Spark/Kubernetes default across all six
+grids. The paper's relationship: more variable grids (higher CoV — more
+renewables) admit more carbon reduction; flat ZA admits almost none.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import grid_comparison
+
+from _report import emit, run_once
+
+
+def test_fig10_grid_comparison_prototype(benchmark):
+    rows = run_once(
+        benchmark, grid_comparison,
+        mode="kubernetes",
+        schedulers=("decima", "cap-k8s-default", "pcaps"),
+        baseline="k8s-default",
+        num_executors=24,
+        num_jobs=15,
+    )
+    lines = [
+        f"{'grid':<7} {'cov':>6} {'scheduler':<18} {'carbon_red%':>12} {'ECT':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.grid:<7} {r.coeff_var:>6.3f} {r.scheduler:<18} "
+            f"{r.carbon_reduction_pct:>11.1f}% {r.ect_ratio:>7.3f}"
+        )
+    emit("Figure 10 — per-grid behaviour (prototype mode)", lines)
+
+    pcaps = {r.grid: r for r in rows if r.scheduler == "pcaps"}
+    covs = np.array([r.coeff_var for r in pcaps.values()])
+    reductions = np.array([r.carbon_reduction_pct for r in pcaps.values()])
+    correlation = float(np.corrcoef(covs, reductions)[0, 1])
+    benchmark.extra_info["cov_reduction_correlation"] = round(correlation, 3)
+    # Variability begets savings: positive correlation, ZA near the bottom.
+    assert correlation > 0.2
+    assert pcaps["ZA"].carbon_reduction_pct <= max(
+        r.carbon_reduction_pct for r in pcaps.values()
+    ) - 5.0

@@ -1,0 +1,58 @@
+"""Figures 16/17: impact of the total number of jobs (simulator + prototype).
+
+Metrics for PCAPS, CAP-FIFO (or CAP), and Decima relative to the baseline as
+the batch grows. The paper finds relative orderings stable, with carbon the
+most stable metric, and results "converging" for larger batches.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import jobcount_sweep
+
+from _report import emit, run_once
+
+COUNTS = (6, 12, 25, 50)
+
+
+def _format(rows):
+    lines = [
+        f"{'jobs':>5} {'scheduler':<18} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.parameter:>5.0f} {r.scheduler:<18} "
+            f"{r.carbon_reduction_pct:>11.1f}% {r.ect_ratio:>7.3f} "
+            f"{r.jct_ratio:>7.3f}"
+        )
+    return lines
+
+
+def test_fig16_jobcount_sweep_simulator(benchmark):
+    rows = run_once(
+        benchmark, jobcount_sweep, job_counts=COUNTS,
+        schedulers=("decima", "cap-fifo", "pcaps"), baseline="fifo",
+        mode="standalone", num_executors=25,
+    )
+    emit("Figure 16 — job-count sweep (simulator)", _format(rows))
+    pcaps = [r for r in rows if r.scheduler == "pcaps"]
+    benchmark.extra_info["pcaps_carbon_by_count"] = {
+        int(r.parameter): round(r.carbon_reduction_pct, 2) for r in pcaps
+    }
+    # PCAPS keeps a positive carbon reduction at every batch size.
+    assert all(r.carbon_reduction_pct > 0 for r in pcaps)
+
+
+def test_fig17_jobcount_sweep_prototype(benchmark):
+    rows = run_once(
+        benchmark, jobcount_sweep, job_counts=COUNTS,
+        schedulers=("decima", "cap-k8s-default", "pcaps"),
+        baseline="k8s-default", mode="kubernetes", num_executors=25,
+    )
+    emit("Figure 17 — job-count sweep (prototype mode)", _format(rows))
+    pcaps = [r for r in rows if r.scheduler == "pcaps"]
+    assert all(r.carbon_reduction_pct > -5.0 for r in pcaps)
+    # Carbon is the most stable metric across batch sizes (paper A.2.1):
+    carbon_spread = np.ptp([r.carbon_reduction_pct / 100 for r in pcaps])
+    jct_spread = np.ptp([r.jct_ratio - 1 for r in pcaps])
+    benchmark.extra_info["carbon_spread"] = round(float(carbon_spread), 3)
+    benchmark.extra_info["jct_spread"] = round(float(jct_spread), 3)

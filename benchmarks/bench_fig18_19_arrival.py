@@ -1,0 +1,52 @@
+"""Figures 18/19: impact of the Poisson interarrival time.
+
+Smaller interarrival = heavier cluster load. The paper finds intelligent
+schedulers (PCAPS, Decima) gain the most over FIFO under heavy load, where
+FIFO's queue build-up is worst.
+"""
+
+from repro.experiments.figures import interarrival_sweep
+
+from _report import emit, run_once
+
+GAPS = (10.0, 20.0, 45.0, 90.0)
+
+
+def _format(rows):
+    lines = [
+        f"{'gap_s':>6} {'scheduler':<18} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.parameter:>6.0f} {r.scheduler:<18} "
+            f"{r.carbon_reduction_pct:>11.1f}% {r.ect_ratio:>7.3f} "
+            f"{r.jct_ratio:>7.3f}"
+        )
+    return lines
+
+
+def test_fig18_interarrival_sweep_simulator(benchmark):
+    rows = run_once(
+        benchmark, interarrival_sweep, interarrivals=GAPS,
+        schedulers=("decima", "cap-fifo", "pcaps"), baseline="fifo",
+        mode="standalone", num_executors=25, num_jobs=20,
+    )
+    emit("Figure 18 — interarrival sweep (simulator)", _format(rows))
+    decima = {r.parameter: r for r in rows if r.scheduler == "decima"}
+    benchmark.extra_info["decima_jct_by_gap"] = {
+        g: round(decima[g].jct_ratio, 3) for g in GAPS
+    }
+    # Decima's JCT advantage over FIFO is largest under heavy load.
+    assert decima[GAPS[0]].jct_ratio <= decima[GAPS[-1]].jct_ratio + 0.05
+
+
+def test_fig19_interarrival_sweep_prototype(benchmark):
+    rows = run_once(
+        benchmark, interarrival_sweep, interarrivals=GAPS,
+        schedulers=("decima", "cap-k8s-default", "pcaps"),
+        baseline="k8s-default", mode="kubernetes", num_executors=25,
+        num_jobs=20,
+    )
+    emit("Figure 19 — interarrival sweep (prototype mode)", _format(rows))
+    pcaps = [r for r in rows if r.scheduler == "pcaps"]
+    assert all(r.carbon_reduction_pct > -5.0 for r in pcaps)

@@ -1,0 +1,41 @@
+"""Figure 20: scheduler invocation latency vs queue length.
+
+The paper reports FIFO/CAP-FIFO below 5 ms per invocation regardless of
+queue depth, while Decima/PCAPS (policy inference) grow with the number of
+queued jobs, with PCAPS adding a small constant over Decima — all far below
+the runtimes of big-data stages.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import latency_profile
+
+from _report import emit, run_once
+
+QUEUE_LENGTHS = (1, 5, 10, 25)
+
+
+def test_fig20_scheduler_latency(benchmark):
+    rows = run_once(
+        benchmark, latency_profile, queue_lengths=QUEUE_LENGTHS,
+        schedulers=("fifo", "cap-fifo", "decima", "pcaps"),
+        num_executors=25,
+    )
+    lines = [f"{'scheduler':<10} {'queued':>7} {'avg_ms':>9} {'invocations':>12}"]
+    for r in rows:
+        lines.append(
+            f"{r.scheduler:<10} {r.queued_jobs:>7} {r.avg_latency_ms:>9.3f} "
+            f"{r.invocations:>12}"
+        )
+    emit("Figure 20 — scheduler invocation latency", lines)
+
+    by = {(r.scheduler, r.queued_jobs): r.avg_latency_ms for r in rows}
+    benchmark.extra_info["latency_ms"] = {
+        f"{s}@{q}": round(by[(s, q)], 3) for (s, q) in by
+    }
+    # Decima-family latency grows with queue depth; FIFO stays flat & small.
+    assert by[("decima", 25)] > by[("decima", 1)]
+    assert by[("pcaps", 25)] > by[("pcaps", 1)]
+    assert by[("fifo", 25)] < by[("decima", 25)]
+    # Everything stays in the "insignificant vs big-data stages" regime.
+    assert max(by.values()) < 100.0

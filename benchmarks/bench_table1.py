@@ -1,0 +1,29 @@
+"""Table 1: carbon-intensity trace characteristics for six grids.
+
+Regenerates the min / max / mean / coefficient-of-variation table from the
+synthetic grid models, printed next to the paper's values.
+"""
+
+from repro.experiments.tables import (
+    format_table1,
+    table1_error_summary,
+    table1_rows,
+)
+
+from _report import emit, run_once
+
+
+def test_table1_trace_characteristics(benchmark):
+    rows = run_once(benchmark, table1_rows)  # full 26,304-hour traces
+    errors = table1_error_summary(rows)
+    benchmark.extra_info["mean_rel_err"] = errors["mean_rel_err"]
+    benchmark.extra_info["cov_rel_err"] = errors["cov_rel_err"]
+    emit(
+        "Table 1 — carbon trace characteristics (measured vs paper)",
+        [
+            format_table1(rows),
+            f"mean relative error: {errors['mean_rel_err']:.3f}, "
+            f"CoV relative error: {errors['cov_rel_err']:.3f}",
+        ],
+    )
+    assert errors["mean_rel_err"] < 0.05

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1 walkthrough: one DAG, four scheduling philosophies.
+
+Reproduces the motivating example: a 7-stage job with a bottleneck chain
+("green"/"purple" stages) and deferrable side work, scheduled on two
+machines against an 18-hour carbon trace that starts dirty and turns clean.
+
+- FIFO       runs side stages first and delays the bottleneck chain;
+- T-OPT      (exact search) starts the chain immediately — fastest;
+- C-OPT      (exact search, 18 h deadline) pushes almost everything into
+             the clean evening — cheapest but slowest;
+- PCAPS      keeps the chain running through the dirty morning and defers
+             only the unimportant side stages — most of C-OPT's savings at
+             a fraction of its delay.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.experiments.motivation import (
+    fig1_comparison,
+    motivating_dag,
+    motivating_trace,
+)
+
+
+def render_dag() -> None:
+    dag = motivating_dag()
+    print("job DAG (stage: duration, parents):")
+    for sid in dag.topological_order():
+        stage = dag.stage(sid)
+        parents = ",".join(map(str, stage.parents)) or "-"
+        print(
+            f"  s{sid} {stage.name:<18} {stage.task_duration / 60:3.0f}h "
+            f"parents [{parents}]"
+        )
+
+
+def render_trace() -> None:
+    trace = motivating_trace()
+    print("\ncarbon intensity by hour (gCO2eq/kWh):")
+    values = trace.values
+    print("  " + " ".join(f"{v:3.0f}" for v in values))
+
+
+def main() -> None:
+    render_dag()
+    render_trace()
+    print("\nschedule outcomes (2 machines):")
+    print(f"  {'policy':<14} {'hours':>6} {'carbon':>9} {'Δcarbon':>9} {'Δtime':>8}")
+    for row in fig1_comparison(gamma=0.5):
+        print(
+            f"  {row.policy:<14} {row.completion_hours:>6.1f} "
+            f"{row.carbon:>9.0f} {row.carbon_vs_fifo_pct:>+8.1f}% "
+            f"{row.time_vs_fifo_pct:>+7.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""How grid carbon characteristics shape scheduler savings (Figs. 10/14).
+
+Runs moderately carbon-aware PCAPS and CAP against six synthetic power
+grids calibrated to the paper's Table 1 (PJM, CAISO, ON, DE, NSW, ZA) and
+shows the paper's core observation: the more variable the grid's carbon
+intensity (more renewables), the more carbon a carbon-aware scheduler can
+save — coal-flat ZA offers almost nothing to harvest.
+
+Run:  python examples/multi_grid_comparison.py
+"""
+
+from repro.experiments.figures import grid_comparison
+
+
+def main() -> None:
+    rows = grid_comparison(
+        mode="standalone",
+        schedulers=("decima", "cap-fifo", "pcaps"),
+        baseline="fifo",
+        num_executors=20,
+        num_jobs=12,
+    )
+    by_grid: dict[str, dict[str, float]] = {}
+    covs: dict[str, float] = {}
+    for row in rows:
+        by_grid.setdefault(row.grid, {})[row.scheduler] = row.carbon_reduction_pct
+        covs[row.grid] = row.coeff_var
+
+    print("carbon reduction vs FIFO, by grid (sorted by variability):")
+    print(f"  {'grid':<7} {'cov':>6} {'decima':>8} {'cap-fifo':>9} {'pcaps':>8}")
+    for grid in sorted(covs, key=covs.get):
+        r = by_grid[grid]
+        print(
+            f"  {grid:<7} {covs[grid]:>6.3f} {r['decima']:>7.1f}% "
+            f"{r['cap-fifo']:>8.1f}% {r['pcaps']:>7.1f}%"
+        )
+    print(
+        "\nZA (flat, coal) sits at the top with the least to save;"
+        "\nhigh-variability grids (ON, CAISO, DE) reward deferral the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a TPC-H batch carbon-aware vs carbon-agnostic.
+
+Builds a 15-job TPC-H workload, replays a synthetic German-grid carbon
+trace, and compares three schedulers on the identical batch:
+
+- Decima (carbon-agnostic learned scheduler surrogate),
+- CAP wrapped around Decima (cluster-wide carbon-aware quota),
+- PCAPS wrapped around Decima (per-stage carbon-awareness filter).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.carbon.grids import synthesize_trace
+from repro.core.cap import CAPProvisioner
+from repro.core.pcaps import PCAPSScheduler
+from repro.schedulers.decima import DecimaScheduler
+from repro.simulator.engine import ClusterConfig, Simulation
+from repro.simulator.metrics import compare_to_baseline
+from repro.workloads.batch import WorkloadSpec, build_workload
+
+NUM_EXECUTORS = 25
+NUM_JOBS = 25
+GRID = "DE"
+
+
+def run(scheduler, provisioner, submissions, trace):
+    sim = Simulation(
+        config=ClusterConfig(num_executors=NUM_EXECUTORS),
+        scheduler=scheduler,
+        carbon_api=CarbonIntensityAPI(trace),
+        provisioner=provisioner,
+    )
+    return sim.run(submissions)
+
+
+def main() -> None:
+    # 1. A carbon trace: hourly gCO2eq/kWh; one hour = 60 simulated seconds.
+    # Slice 3,000 hourly steps from the full three-year DE trace.
+    trace = synthesize_trace(GRID, seed=0).slice(0, 3000)
+    print(f"carbon trace {GRID}: {trace.stats()}")
+
+    # 2. A workload: TPC-H-like DAG jobs with Poisson arrivals.
+    submissions = build_workload(
+        WorkloadSpec(family="tpch", num_jobs=NUM_JOBS), seed=7
+    )
+    total = sum(s.dag.total_work for s in submissions)
+    print(f"{NUM_JOBS} jobs, {total:.0f} executor-seconds of work\n")
+
+    # 3. Run the three schedulers on the identical batch.
+    runs = {
+        "decima": run(DecimaScheduler(seed=0), None, submissions, trace),
+        "cap-decima": run(
+            DecimaScheduler(seed=0),
+            CAPProvisioner(total_executors=NUM_EXECUTORS, min_quota=5),
+            submissions,
+            trace,
+        ),
+        "pcaps": run(
+            PCAPSScheduler(DecimaScheduler(seed=0), gamma=0.5),
+            None,
+            submissions,
+            trace,
+        ),
+    }
+
+    # 4. Report, normalized to carbon-agnostic Decima.
+    base = runs["decima"]
+    print(f"{'scheduler':<12} {'carbon_red%':>12} {'ECT':>8} {'avg JCT':>9}")
+    for name, result in runs.items():
+        m = compare_to_baseline(result, base)
+        print(
+            f"{name:<12} {m.carbon_reduction_pct:>11.1f}% "
+            f"{m.ect_ratio:>8.3f} {m.jct_ratio:>9.3f}"
+        )
+    print(
+        "\nPCAPS trades a little end-to-end time for a sizable carbon cut;"
+        "\nCAP does the same without needing the scheduler's probabilities."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Carbon- and Precedence-Aware Scheduling for
+Data Processing Clusters" (Lechowicz et al., SIGCOMM 2025).
+
+The package rebuilds the paper's full evaluation stack in pure Python:
+
+- :mod:`repro.carbon` — carbon-intensity traces, six Table 1-calibrated
+  grid models, forecasts, and a replaying carbon API;
+- :mod:`repro.dag` — the stage-DAG job model and structural metrics;
+- :mod:`repro.workloads` — TPC-H-like and Alibaba-like workload generators
+  with Poisson arrivals;
+- :mod:`repro.simulator` — the event-driven Spark cluster simulator
+  (standalone and Kubernetes modes, executor hoarding, quotas, ex-post
+  carbon accounting);
+- :mod:`repro.schedulers` — the carbon-agnostic baselines (FIFO, the
+  Kubernetes default, Weighted Fair, a Decima surrogate, GreenHadoop) and
+  exact T-OPT/C-OPT searches;
+- :mod:`repro.core` — the paper's contribution: PCAPS, CAP, the threshold
+  functions, and the Theorems 4.3-4.6 analysis;
+- :mod:`repro.experiments` — the declarative runner and per-table /
+  per-figure producers;
+- :mod:`repro.cli` — ``python -m repro`` command-line access.
+
+Quickstart::
+
+    from repro.carbon.api import CarbonIntensityAPI
+    from repro.carbon.grids import synthesize_trace
+    from repro.core import PCAPSScheduler
+    from repro.schedulers import DecimaScheduler
+    from repro.simulator import ClusterConfig, Simulation
+    from repro.workloads import WorkloadSpec, build_workload
+
+    trace = synthesize_trace("DE", seed=0).slice(0, 3000)
+    jobs = build_workload(WorkloadSpec(family="tpch", num_jobs=25), seed=7)
+    sim = Simulation(
+        ClusterConfig(num_executors=25),
+        PCAPSScheduler(DecimaScheduler(seed=0), gamma=0.5),
+        CarbonIntensityAPI(trace),
+    )
+    result = sim.run(jobs)
+"""
+
+from repro.core.cap import CAPProvisioner
+from repro.core.pcaps import PCAPSScheduler
+from repro.simulator.engine import ClusterConfig, Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAPProvisioner",
+    "ClusterConfig",
+    "PCAPSScheduler",
+    "Simulation",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Carbon-intensity substrate.
+
+This package replaces the paper's historical Electricity Maps traces with
+synthetic, statistically calibrated grid models (see DESIGN.md, Section 2).
+It provides:
+
+- :class:`~repro.carbon.trace.CarbonTrace` — an hourly carbon-intensity
+  series mapped onto simulation time.
+- :mod:`~repro.carbon.grids` — six grid generators calibrated to Table 1 of
+  the paper (PJM, CAISO, ON, DE, NSW, ZA).
+- :mod:`~repro.carbon.forecast` — the 48-hour lookahead ``L``/``U`` bounds
+  the schedulers consume.
+- :class:`~repro.carbon.api.CarbonIntensityAPI` — a replaying "API" daemon
+  mirroring the prototype's Electricity Maps client.
+"""
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.carbon.forecast import CarbonForecaster, forecast_bounds
+from repro.carbon.grids import (
+    GRID_CODES,
+    GRID_SPECS,
+    GridSpec,
+    synthesize_trace,
+)
+from repro.carbon.trace import CarbonTrace, TraceStats
+
+__all__ = [
+    "CarbonIntensityAPI",
+    "CarbonForecaster",
+    "CarbonTrace",
+    "GridSpec",
+    "GRID_CODES",
+    "GRID_SPECS",
+    "TraceStats",
+    "forecast_bounds",
+    "synthesize_trace",
+]

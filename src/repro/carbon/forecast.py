@@ -1,0 +1,89 @@
+"""Short-term carbon-intensity forecasts.
+
+The schedulers in the paper never see the future trace; they only consume
+``L`` and ``U``, the minimum and maximum *forecasted* carbon intensities over
+a lookahead window (48 hours by default — Section 6.1). This module produces
+those bounds, optionally with multiplicative forecast error so robustness to
+imperfect forecasts can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.trace import CarbonTrace
+
+#: The paper's lookahead window (Section 6.1): 48 grid-hours.
+DEFAULT_LOOKAHEAD_STEPS = 48
+
+
+def forecast_bounds(
+    trace: CarbonTrace,
+    t: float,
+    lookahead_steps: int = DEFAULT_LOOKAHEAD_STEPS,
+) -> tuple[float, float]:
+    """Perfect-forecast ``(L, U)`` over the next ``lookahead_steps`` hours.
+
+    Matches the paper's setup where "U and L correspond to the maximum and
+    minimum forecasted carbon intensities over a lookahead window of 48
+    hours".
+    """
+    if lookahead_steps <= 0:
+        raise ValueError("lookahead_steps must be positive")
+    window = lookahead_steps * trace.step_seconds
+    return trace.bounds_over(t, t + window)
+
+
+@dataclass
+class CarbonForecaster:
+    """Stateful forecaster with optional error, one per experiment.
+
+    Parameters
+    ----------
+    trace:
+        The underlying carbon trace.
+    lookahead_steps:
+        Forecast horizon in hourly steps.
+    error_std:
+        Multiplicative log-normal error applied independently to the L and U
+        estimates (0 = perfect forecast, the paper's setting).
+    seed:
+        Seed for the error process.
+    """
+
+    trace: CarbonTrace
+    lookahead_steps: int = DEFAULT_LOOKAHEAD_STEPS
+    error_std: float = 0.0
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.lookahead_steps <= 0:
+            raise ValueError("lookahead_steps must be positive")
+        if self.error_std < 0:
+            raise ValueError("error_std must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+        self._cached_step: int | None = None
+        self._cached_bounds: tuple[float, float] = (0.0, 0.0)
+
+    def bounds(self, t: float) -> tuple[float, float]:
+        """``(L, U)`` as seen by a scheduler at simulation time ``t``.
+
+        Bounds are recomputed once per carbon step (forecasts update when new
+        intensities are published, mirroring the prototype daemon). With
+        nonzero ``error_std`` the returned bounds are perturbed but always
+        kept consistent: ``0 <= L <= c(t) <= U`` never has to hold for a
+        *forecast*, but we do enforce ``0 <= L <= U``.
+        """
+        step = self.trace.step_index(t)
+        if step == self._cached_step:
+            return self._cached_bounds
+        low, high = forecast_bounds(self.trace, t, self.lookahead_steps)
+        if self.error_std > 0:
+            low *= float(np.exp(self._rng.normal(0.0, self.error_std)))
+            high *= float(np.exp(self._rng.normal(0.0, self.error_std)))
+            low, high = min(low, high), max(low, high)
+        self._cached_step = step
+        self._cached_bounds = (low, high)
+        return self._cached_bounds

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's experiments without writing code:
+
+- ``repro table1`` / ``table2`` / ``table3`` — regenerate the paper tables;
+- ``repro fig1`` — the motivating example;
+- ``repro run`` — one matchup (schedulers × grid × workload), normalized;
+- ``repro sweep`` — a γ or B sweep on one grid;
+- ``repro grids`` — list the modelled grids and their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.carbon.grids import GRID_CODES, GRID_SPECS, synthesize_trace
+from repro.experiments.motivation import fig1_comparison
+from repro.experiments.runner import (
+    SCHEDULER_NAMES,
+    ExperimentConfig,
+    run_matchup,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    format_metric_table,
+    format_table1,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.experiments.figures import cap_b_sweep, pcaps_gamma_sweep
+from repro.simulator.metrics import compare_to_baseline
+from repro.workloads.batch import WorkloadSpec
+
+
+def _add_common_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--grid", default="DE", choices=GRID_CODES)
+    parser.add_argument("--executors", type=int, default=25)
+    parser.add_argument("--jobs", type=int, default=20)
+    parser.add_argument(
+        "--family", default="tpch", choices=("tpch", "alibaba")
+    )
+    parser.add_argument("--interarrival", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode", default="standalone", choices=("standalone", "kubernetes")
+    )
+
+
+def _experiment_config(args: argparse.Namespace, **overrides) -> ExperimentConfig:
+    params = dict(
+        grid=args.grid,
+        num_executors=args.executors,
+        mode=args.mode,
+        workload=WorkloadSpec(
+            family=args.family,
+            num_jobs=args.jobs,
+            mean_interarrival=args.interarrival,
+        ),
+        seed=args.seed,
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table1(table1_rows(hours=args.hours)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = table2_rows(num_jobs=args.jobs, num_executors=args.executors)
+    print(format_metric_table(rows, PAPER_TABLE2))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = table3_rows(num_jobs=args.jobs, num_executors=args.executors)
+    print(format_metric_table(rows, PAPER_TABLE3))
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    print(f"{'policy':<14} {'hours':>7} {'Δcarbon':>9} {'Δtime':>8}")
+    for row in fig1_comparison(gamma=args.gamma):
+        print(
+            f"{row.policy:<14} {row.completion_hours:>7.1f} "
+            f"{row.carbon_vs_fifo_pct:>+8.1f}% {row.time_vs_fifo_pct:>+7.1f}%"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.schedulers
+    unknown = [n for n in names if n not in SCHEDULER_NAMES]
+    if unknown:
+        print(f"unknown schedulers: {unknown}; choose from {SCHEDULER_NAMES}")
+        return 2
+    baseline = args.baseline or names[0]
+    if baseline not in names:
+        names = [baseline] + names
+    config = _experiment_config(args, gamma=args.gamma)
+    results = run_matchup(names, config)
+    base = results[baseline]
+    print(f"{'scheduler':<20} {'carbon_red%':>12} {'ECT':>8} {'JCT':>8}")
+    for name, result in results.items():
+        m = compare_to_baseline(result, base)
+        print(
+            f"{name:<20} {m.carbon_reduction_pct:>11.1f}% "
+            f"{m.ect_ratio:>8.3f} {m.jct_ratio:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    if args.knob == "gamma":
+        points = pcaps_gamma_sweep(
+            gammas=tuple(args.values or (0.1, 0.3, 0.5, 0.7, 0.9)),
+            baseline=args.baseline or "decima",
+            config=config,
+        )
+        label = "gamma"
+    else:
+        quotas = tuple(
+            int(v) for v in (args.values or (2, 4, 8, 12, 16))
+        )
+        points = cap_b_sweep(
+            quotas=quotas,
+            underlying=args.baseline or "decima",
+            config=config,
+        )
+        label = "B"
+    print(f"{label:>7} {'carbon_red%':>12} {'ECT':>8} {'JCT':>8}")
+    for p in points:
+        print(
+            f"{p.parameter:>7.2f} {p.carbon_reduction_pct:>11.1f}% "
+            f"{p.ect_ratio:>8.3f} {p.jct_ratio:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_grids(args: argparse.Namespace) -> int:
+    print(f"{'grid':<7} {'description':<55} {'mean':>6} {'cov':>6}")
+    for code in GRID_CODES:
+        spec = GRID_SPECS[code]
+        print(
+            f"{code:<7} {spec.description:<55} {spec.mean:>6.0f} "
+            f"{spec.coeff_var:>6.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction CLI for 'Carbon- and Precedence-Aware "
+        "Scheduling for Data Processing Clusters' (SIGCOMM 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: grid trace statistics")
+    p.add_argument("--hours", type=int, default=26_304)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="Table 2: prototype-mode top line")
+    p.add_argument("--jobs", type=int, default=25)
+    p.add_argument("--executors", type=int, default=40)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="Table 3: simulator-mode top line")
+    p.add_argument("--jobs", type=int, default=25)
+    p.add_argument("--executors", type=int, default=40)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("fig1", help="Figure 1: motivating example")
+    p.add_argument("--gamma", type=float, default=0.5)
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("run", help="run a scheduler matchup")
+    _add_common_experiment_args(p)
+    p.add_argument(
+        "schedulers", nargs="+", metavar="SCHEDULER",
+        help=f"one or more of {', '.join(SCHEDULER_NAMES)}",
+    )
+    p.add_argument("--baseline", default=None)
+    p.add_argument("--gamma", type=float, default=0.5)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("sweep", help="sweep PCAPS gamma or CAP B")
+    _add_common_experiment_args(p)
+    p.add_argument("knob", choices=("gamma", "B"))
+    p.add_argument(
+        "--values", type=float, nargs="+", default=None,
+        help="knob values (gammas, or integer quotas for B)",
+    )
+    p.add_argument("--baseline", default=None)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("grids", help="list the modelled power grids")
+    p.set_defaults(func=_cmd_grids)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

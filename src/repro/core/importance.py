@@ -1,0 +1,44 @@
+"""Relative importance (Definition 4.2).
+
+Given the probability distribution a Definition 4.1 scheduler assigns to the
+ready frontier, a task's relative importance is its probability mass
+normalized by the largest mass::
+
+    r_{v,t} = p_{v,t} / max_u p_{u,t}  ∈ [0, 1]
+
+A value near 1 marks a bottleneck task (the scheduler would almost surely
+pick it); values near 0 mark deferrable tasks. A singleton frontier always
+has importance 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_importance(probabilities: np.ndarray | list[float]) -> np.ndarray:
+    """Per-task relative importance for one frontier distribution.
+
+    Parameters
+    ----------
+    probabilities:
+        Non-negative masses over the ready frontier (need not sum to one;
+        only ratios matter).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``p / p.max()`` elementwise, in [0, 1]. The maximum entry is exactly
+        1; a singleton input maps to ``[1.0]``.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("probabilities must be a non-empty 1-D array")
+    if np.any(p < 0) or not np.all(np.isfinite(p)):
+        raise ValueError("probabilities must be finite and >= 0")
+    peak = p.max()
+    if peak <= 0:
+        # Degenerate all-zero distribution: every task is equally (un)important;
+        # treat all as maximally important so nothing is filtered on bad input.
+        return np.ones_like(p)
+    return p / peak

@@ -1,0 +1,196 @@
+"""Threshold functions: PCAPS's ``Ψ_γ`` and CAP's k-search set ``Φ``.
+
+Both thresholds hedge between executing now and waiting for lower-carbon
+periods, using only the forecast bounds ``L <= c(t) <= U`` (Section 3).
+
+``Ψ_γ`` (Section 4.1) maps a task's relative importance ``r ∈ [0,1]`` to the
+highest carbon intensity at which the task should still run::
+
+    Ψ_γ(r) = (γL + (1-γ)U) + [U - (γL + (1-γ)U)] * (exp(γr) - 1) / (exp(γ) - 1)
+
+so ``Ψ_γ(1) = U`` (bottleneck tasks always run) and ``Ψ_0 ≡ U`` (carbon-
+agnostic). The exponential shape is inherited from one-way-trading
+thresholds [El-Yaniv et al.].
+
+``Φ`` (Section 4.2) is the (K-B)-search threshold set: ``Φ_i = U`` for
+``i <= B`` and for ``i ∈ {1, …, K-B}``::
+
+    Φ_{i+B} = U - (U - U/α) * (1 + 1/((K-B)α))^(i-1)
+
+where ``α > 1`` solves ``(1 + 1/((K-B)α))^(K-B) = (U-L) / (U(1-1/α))``.
+The quota at carbon intensity ``c`` is the number of thresholds ≥ ``c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate_bounds(low: float, high: float) -> None:
+    if not (0 <= low <= high):
+        raise ValueError(f"need 0 <= L <= U, got L={low}, U={high}")
+
+
+def psi(
+    r: float,
+    gamma: float,
+    low: float,
+    high: float,
+    shape: str = "exponential",
+) -> float:
+    """PCAPS's threshold ``Ψ_γ(r)`` (Section 4.1).
+
+    Parameters
+    ----------
+    r:
+        Relative importance in [0, 1] (Definition 4.2).
+    gamma:
+        Carbon-awareness in [0, 1]; 0 recovers carbon-agnostic behaviour.
+    low / high:
+        Forecast carbon bounds ``L`` and ``U``.
+    shape:
+        ``"exponential"`` is the paper's design; ``"linear"`` replaces the
+        exponential interpolation with a straight line (an ablation).
+    """
+    if not 0.0 <= r <= 1.0:
+        raise ValueError(f"relative importance must be in [0,1], got {r}")
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0,1], got {gamma}")
+    _validate_bounds(low, high)
+    floor = gamma * low + (1.0 - gamma) * high
+    if gamma == 0.0:
+        return high  # exp(γr)-1 / exp(γ)-1 -> r as γ->0, but floor is U anyway
+    if shape == "exponential":
+        ramp = math.expm1(gamma * r) / math.expm1(gamma)
+    elif shape == "linear":
+        ramp = r
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    return floor + (high - floor) * ramp
+
+
+def solve_alpha(
+    num_slots: int, low: float, high: float, tolerance: float = 1e-10
+) -> float:
+    """Solve the CAP ``α`` root for ``k = num_slots`` flexible machine slots.
+
+    Finds ``α > 1`` with ``(1 + 1/(kα))^k = (U-L) / (U(1-1/α))`` by
+    bisection. The left side decreases from ``(1+1/k)^k`` toward 1 as α
+    grows; the right side decreases from +∞ toward ``(U-L)/U < 1``, so a
+    unique crossing exists for ``U > L > 0``.
+    """
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    _validate_bounds(low, high)
+    if high <= low or high == 0:
+        return math.inf  # no fluctuation: thresholds degenerate to U
+
+    k = num_slots
+    ratio = (high - low) / high
+
+    def f(alpha: float) -> float:
+        lhs = (1.0 + 1.0 / (k * alpha)) ** k
+        rhs = ratio / (1.0 - 1.0 / alpha)
+        return lhs - rhs
+
+    lo_a = 1.0 + 1e-12
+    hi_a = 2.0
+    while f(hi_a) < 0:
+        hi_a *= 2.0
+        if hi_a > 1e12:  # pragma: no cover - defensive
+            raise RuntimeError("alpha solver failed to bracket a root")
+    for _ in range(200):
+        mid = 0.5 * (lo_a + hi_a)
+        if f(mid) < 0:
+            lo_a = mid
+        else:
+            hi_a = mid
+        if hi_a - lo_a < tolerance:
+            break
+    return 0.5 * (lo_a + hi_a)
+
+
+@dataclass(frozen=True)
+class CAPThresholds:
+    """CAP's threshold set for one ``(K, B, L, U)`` configuration.
+
+    ``values[i]`` is ``Φ_{i+1}`` (1-indexed in the paper): a non-increasing
+    array of length ``K`` with ``values[:B] == U``.
+    """
+
+    total_machines: int
+    min_quota: int
+    low: float
+    high: float
+    alpha: float
+    values: tuple[float, ...]
+
+    def quota(self, carbon_intensity: float) -> int:
+        """Machines allowed at this intensity: ``#{i : Φ_i >= c}``.
+
+        At least ``min_quota`` (B) machines are always allowed (``Φ_i = U``
+        for i ≤ B and intensities above U are clamped), guaranteeing
+        continuous progress (Section 4.2). With degenerate bounds
+        (``U <= L``) every threshold equals ``U`` and the quota is ``K``.
+        """
+        arr = np.asarray(self.values)
+        return max(self.min_quota, int(np.count_nonzero(arr >= carbon_intensity)))
+
+
+def cap_thresholds(
+    total_machines: int, min_quota: int, low: float, high: float
+) -> CAPThresholds:
+    """Build CAP's ``Φ`` threshold set (Section 4.2).
+
+    ``min_quota`` is the paper's ``B``: a floor on the executor quota. When
+    ``B == K`` or the forecast is flat (``U <= L``), every threshold is
+    ``U`` and the quota is always ``K`` — CAP degenerates to the
+    carbon-agnostic baseline.
+    """
+    if total_machines < 1:
+        raise ValueError("total_machines must be >= 1")
+    if not 1 <= min_quota <= total_machines:
+        raise ValueError("need 1 <= min_quota <= total_machines")
+    _validate_bounds(low, high)
+
+    K, B = total_machines, min_quota
+    k = K - B
+    if k == 0 or high <= low or high == 0:
+        return CAPThresholds(
+            total_machines=K,
+            min_quota=B,
+            low=low,
+            high=high,
+            alpha=math.inf,
+            values=tuple([high] * K),
+        )
+    alpha = solve_alpha(k, low, high)
+    values = [high] * B
+    base = high - high / alpha
+    growth = 1.0 + 1.0 / (k * alpha)
+    for i in range(1, k + 1):
+        values.append(high - base * growth ** (i - 1))
+    return CAPThresholds(
+        total_machines=K,
+        min_quota=B,
+        low=low,
+        high=high,
+        alpha=alpha,
+        values=tuple(values),
+    )
+
+
+def cap_quota(
+    carbon_intensity: float,
+    total_machines: int,
+    min_quota: int,
+    low: float,
+    high: float,
+) -> int:
+    """One-shot quota computation (builds the threshold set and queries it)."""
+    return cap_thresholds(total_machines, min_quota, low, high).quota(
+        carbon_intensity
+    )

@@ -1,0 +1,111 @@
+"""Structural metrics over job DAGs.
+
+These quantities drive both the Decima surrogate's stage scoring and the
+analysis module: critical-path length bounds the makespan from below, and
+descendant work measures how much future computation a stage gates — the
+paper's intuition for "bottleneck" stages (Section 4.1, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import JobDAG
+
+
+def critical_path_length(
+    dag: JobDAG, completed: frozenset[int] | set[int] = frozenset()
+) -> float:
+    """Length of the longest remaining dependency chain, in seconds.
+
+    Stage durations assume unlimited parallelism (each stage contributes one
+    ``task_duration`` wave). Completed stages contribute zero. This is the
+    classic makespan lower bound for unlimited machines.
+    """
+    done = set(completed)
+    longest: dict[int, float] = {}
+    for sid in dag.topological_order():
+        stage = dag.stage(sid)
+        own = 0.0 if sid in done else stage.task_duration
+        upstream = max((longest[p] for p in stage.parents), default=0.0)
+        longest[sid] = upstream + own
+    return max(longest.values(), default=0.0)
+
+
+def longest_path_stages(dag: JobDAG) -> tuple[int, ...]:
+    """Stage ids along one critical path, in execution order."""
+    longest: dict[int, float] = {}
+    best_parent: dict[int, int | None] = {}
+    for sid in dag.topological_order():
+        stage = dag.stage(sid)
+        parent, upstream = None, 0.0
+        for p in stage.parents:
+            if longest[p] > upstream:
+                parent, upstream = p, longest[p]
+        longest[sid] = upstream + stage.task_duration
+        best_parent[sid] = parent
+    if not longest:
+        return ()
+    tail = max(longest, key=lambda sid: longest[sid])
+    path = [tail]
+    while best_parent[path[-1]] is not None:
+        path.append(best_parent[path[-1]])  # type: ignore[arg-type]
+    return tuple(reversed(path))
+
+
+def descendant_work(dag: JobDAG, stage_id: int) -> float:
+    """Total work (executor-seconds) gated behind ``stage_id``.
+
+    Includes the stage's own work plus the work of every transitive
+    descendant. A stage with large descendant work is a bottleneck: deferring
+    it delays everything downstream.
+    """
+    seen: set[int] = set()
+    frontier = [stage_id]
+    while frontier:
+        sid = frontier.pop()
+        if sid in seen:
+            continue
+        seen.add(sid)
+        frontier.extend(dag.children(sid))
+    return sum(dag.stage(sid).work for sid in seen)
+
+
+def remaining_work(
+    dag: JobDAG, completed: frozenset[int] | set[int] = frozenset()
+) -> float:
+    """Executor-seconds of work not yet completed."""
+    done = set(completed)
+    return sum(s.work for sid, s in dag.stages.items() if sid not in done)
+
+
+def bottleneck_scores(
+    dag: JobDAG, completed: frozenset[int] | set[int] = frozenset()
+) -> dict[int, float]:
+    """Per-stage bottleneck score for the not-yet-completed stages.
+
+    The score combines (a) the work gated behind the stage and (b) the
+    longest downstream dependency chain, both normalized by the job's
+    remaining totals so scores are comparable across jobs. Higher means more
+    critical. Used by the Decima surrogate's policy head.
+    """
+    done = set(completed)
+    remaining = remaining_work(dag, done)
+    if remaining <= 0:
+        return {}
+    # Longest chain *starting* at each stage, over remaining stages.
+    downstream: dict[int, float] = {}
+    for sid in reversed(dag.topological_order()):
+        stage = dag.stage(sid)
+        own = 0.0 if sid in done else stage.task_duration
+        below = max((downstream[c] for c in dag.children(sid)), default=0.0)
+        downstream[sid] = own + below
+    max_chain = max(downstream.values(), default=0.0)
+    scores: dict[int, float] = {}
+    for sid in dag.stage_ids():
+        if sid in done:
+            continue
+        gated = descendant_work(dag, sid)
+        chain = downstream[sid]
+        scores[sid] = 0.5 * (gated / remaining) + 0.5 * (
+            chain / max_chain if max_chain > 0 else 0.0
+        )
+    return scores

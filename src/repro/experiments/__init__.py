@@ -1,0 +1,33 @@
+"""Experiment harness: one entry point per paper table and figure.
+
+:mod:`~repro.experiments.runner` turns a declarative
+:class:`~repro.experiments.runner.ExperimentConfig` into an
+:class:`~repro.simulator.metrics.ExperimentResult`;
+:mod:`~repro.experiments.tables` and :mod:`~repro.experiments.figures`
+assemble the normalized rows/series each paper artifact reports; and
+:mod:`~repro.experiments.motivation` holds the Fig. 1 motivating example.
+"""
+
+from repro.experiments.runner import (
+    SCHEDULER_NAMES,
+    ExperimentConfig,
+    build_scheduler,
+    run_experiment,
+    run_matchup,
+)
+from repro.experiments.motivation import (
+    fig1_comparison,
+    motivating_dag,
+    motivating_trace,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SCHEDULER_NAMES",
+    "build_scheduler",
+    "fig1_comparison",
+    "motivating_dag",
+    "motivating_trace",
+    "run_experiment",
+    "run_matchup",
+]

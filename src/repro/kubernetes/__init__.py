@@ -1,0 +1,45 @@
+"""Kubernetes control-plane substrate (the prototype side, Section 5.1).
+
+The paper's prototype implements CAP "without modifications to Spark or
+Kubernetes": a Python daemon reads a carbon API and adjusts a namespace
+:class:`ResourceQuota`; Kubernetes admits new executor pods only while
+usage stays under the quota, and never preempts running pods. PCAPS instead
+runs as a scheduling service coordinating a kube-scheduler plugin with the
+Spark drivers.
+
+This package models those mechanisms explicitly:
+
+- :mod:`~repro.kubernetes.objects` — pods, the namespace, and the
+  ResourceQuota object with Kubernetes admission semantics;
+- :mod:`~repro.kubernetes.daemon` — the CAP quota daemon, mapping carbon
+  readings to quota updates exactly as
+  :class:`~repro.core.cap.CAPProvisioner` maps them to engine quotas;
+- :class:`~repro.kubernetes.daemon.QuotaDaemonProvisioner` — an adapter
+  that drives the simulation engine *through* the namespace quota object,
+  so the control-plane path is exercised end to end and can be checked for
+  equivalence against the direct CAP provisioner.
+"""
+
+from repro.kubernetes.daemon import (
+    CAPQuotaDaemon,
+    QuotaDaemonProvisioner,
+    build_cap_namespace,
+)
+from repro.kubernetes.objects import (
+    ExecutorPod,
+    Namespace,
+    PodPhase,
+    ResourceQuota,
+)
+from repro.kubernetes.spark_app import SparkApplication
+
+__all__ = [
+    "CAPQuotaDaemon",
+    "ExecutorPod",
+    "Namespace",
+    "PodPhase",
+    "QuotaDaemonProvisioner",
+    "ResourceQuota",
+    "SparkApplication",
+    "build_cap_namespace",
+]

@@ -1,0 +1,146 @@
+"""The CAP quota daemon and its engine adapter.
+
+The prototype's CAP is "a Python daemon that gets carbon intensity from an
+API ... and adjusts the resources available to Spark" by writing a
+namespace ResourceQuota sized to the desired executor count (Section 5.1).
+:class:`CAPQuotaDaemon` is that daemon: it owns CAP's k-search thresholds
+and, on every carbon reading, rewrites the quota's CPU/memory limits.
+
+:class:`QuotaDaemonProvisioner` plugs the daemon into the simulation
+engine: the engine's quota for a scheduling pass is whatever executor
+headroom the namespace quota currently implies. Because both the daemon and
+:class:`~repro.core.cap.CAPProvisioner` derive quotas from the same
+threshold set, the two paths produce identical schedules — a property the
+tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.api import CarbonReading
+from repro.core.threshold import CAPThresholds, cap_thresholds
+from repro.kubernetes.objects import (
+    DEFAULT_EXECUTOR_CPU,
+    DEFAULT_EXECUTOR_MEMORY_GB,
+    Namespace,
+    ResourceQuota,
+)
+from repro.simulator.interfaces import Provisioner
+from repro.simulator.state import ClusterView
+
+
+class CAPQuotaDaemon:
+    """Maps carbon readings to ResourceQuota updates (the prototype's CAP).
+
+    Parameters
+    ----------
+    namespace:
+        The dedicated Spark namespace whose quota the daemon manages.
+    total_executors:
+        Cluster size ``K``.
+    min_quota:
+        CAP's ``B``: executors always allowed.
+    cpu_per_executor / memory_per_executor:
+        The per-executor resource request the quota is denominated in.
+    """
+
+    def __init__(
+        self,
+        namespace: Namespace,
+        total_executors: int,
+        min_quota: int,
+        cpu_per_executor: float = DEFAULT_EXECUTOR_CPU,
+        memory_per_executor: float = DEFAULT_EXECUTOR_MEMORY_GB,
+    ) -> None:
+        if total_executors < 1:
+            raise ValueError("total_executors must be >= 1")
+        if not 1 <= min_quota <= total_executors:
+            raise ValueError("need 1 <= min_quota <= total_executors")
+        self.namespace = namespace
+        self.total_executors = total_executors
+        self.min_quota = min_quota
+        self.cpu_per_executor = cpu_per_executor
+        self.memory_per_executor = memory_per_executor
+        self._thresholds: CAPThresholds | None = None
+        self._bounds: tuple[float, float] | None = None
+        #: (time, executor quota) decisions, mirroring the prototype's logs.
+        self.update_log: list[tuple[float, int]] = []
+
+    def executor_quota(self, reading: CarbonReading) -> int:
+        """CAP's executor count for this carbon reading."""
+        bounds = (reading.lower_bound, reading.upper_bound)
+        if self._thresholds is None or self._bounds != bounds:
+            self._thresholds = cap_thresholds(
+                self.total_executors, self.min_quota, *bounds
+            )
+            self._bounds = bounds
+        return self._thresholds.quota(reading.intensity)
+
+    def on_reading(self, reading: CarbonReading) -> int:
+        """One daemon tick: recompute the quota and rewrite the namespace.
+
+        Returns the executor quota written. Running pods above a lowered
+        quota are untouched (ResourceQuota semantics — no preemption).
+        """
+        quota = self.executor_quota(reading)
+        self.namespace.quota.set_limits(
+            cpu_limit=quota * self.cpu_per_executor,
+            memory_limit_gb=quota * self.memory_per_executor,
+        )
+        self.update_log.append((reading.time, quota))
+        return quota
+
+
+class QuotaDaemonProvisioner(Provisioner):
+    """Engine adapter: derive scheduling quotas from the namespace quota.
+
+    On every scheduling pass the daemon processes the current carbon
+    reading (as the prototype's daemon does once per reported intensity),
+    then the engine is allowed ``headroom + busy`` executors — i.e. new
+    assignments are admitted exactly while quota headroom remains, matching
+    Kubernetes admission of new executor pods.
+    """
+
+    def __init__(self, daemon: CAPQuotaDaemon, scale_parallelism: bool = True) -> None:
+        self.daemon = daemon
+        self.scale_parallelism_enabled = scale_parallelism
+        self.name = (
+            f"cap-k8s-daemon(B={daemon.min_quota}/K={daemon.total_executors})"
+        )
+        self._last_quota = daemon.total_executors
+
+    def reset(self) -> None:
+        self.daemon.update_log = []
+        self._last_quota = self.daemon.total_executors
+
+    def quota(self, view: ClusterView) -> int:
+        executor_quota = self.daemon.on_reading(view.carbon)
+        self._last_quota = executor_quota
+        return executor_quota
+
+    def scale_parallelism(self, limit: int, view: ClusterView) -> int:
+        """The same ``P' = ceil(P * r(t)/K)`` rule the prototype applies."""
+        if not self.scale_parallelism_enabled:
+            return limit
+        import math
+
+        ratio = self._last_quota / self.daemon.total_executors
+        return max(1, math.ceil(limit * ratio))
+
+
+def build_cap_namespace(
+    total_executors: int,
+    min_quota: int,
+    namespace_name: str = "spark",
+) -> tuple[Namespace, CAPQuotaDaemon, QuotaDaemonProvisioner]:
+    """Wire up the full prototype stack: namespace + daemon + adapter."""
+    namespace = Namespace(
+        name=namespace_name,
+        quota=ResourceQuota(
+            cpu_limit=total_executors * DEFAULT_EXECUTOR_CPU,
+            memory_limit_gb=total_executors * DEFAULT_EXECUTOR_MEMORY_GB,
+        ),
+    )
+    daemon = CAPQuotaDaemon(
+        namespace, total_executors=total_executors, min_quota=min_quota
+    )
+    return namespace, daemon, QuotaDaemonProvisioner(daemon)

@@ -1,0 +1,165 @@
+"""Kubernetes objects the prototype manipulates.
+
+Only the semantics the paper's CAP implementation depends on are modelled
+(Section 5.1):
+
+- executor pods request fixed CPU/memory (the prototype allocates 4 VCPUs
+  and 7 GB per executor);
+- a namespace-scoped :class:`ResourceQuota` caps the *sum* of requests;
+  admission of a new pod fails while it would exceed the quota;
+- lowering the quota never evicts running pods ("existing pods are not
+  preempted, but new pods are not scheduled until usage falls below the
+  quota").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: The prototype's per-executor resource request (Section 6.3).
+DEFAULT_EXECUTOR_CPU = 4.0  # VCPUs
+DEFAULT_EXECUTOR_MEMORY_GB = 7.0
+
+
+class PodPhase(enum.Enum):
+    """The subset of the Kubernetes pod lifecycle the model needs."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+
+
+@dataclass
+class ExecutorPod:
+    """A Spark executor pod: a fixed resource request plus a phase."""
+
+    name: str
+    job_id: int
+    cpu: float = DEFAULT_EXECUTOR_CPU
+    memory_gb: float = DEFAULT_EXECUTOR_MEMORY_GB
+    phase: PodPhase = PodPhase.PENDING
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0 or self.memory_gb <= 0:
+            raise ValueError("pod resource requests must be positive")
+
+
+@dataclass
+class ResourceQuota:
+    """A namespace ResourceQuota: hard caps on summed pod requests.
+
+    ``set_limits`` may be called at any time (the CAP daemon does this once
+    per carbon reading); it affects only future admissions.
+    """
+
+    cpu_limit: float
+    memory_limit_gb: float
+    cpu_used: float = 0.0
+    memory_used_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_limit < 0 or self.memory_limit_gb < 0:
+            raise ValueError("quota limits must be >= 0")
+
+    def set_limits(self, cpu_limit: float, memory_limit_gb: float) -> None:
+        """Update hard limits; running usage is untouched (no preemption)."""
+        if cpu_limit < 0 or memory_limit_gb < 0:
+            raise ValueError("quota limits must be >= 0")
+        self.cpu_limit = cpu_limit
+        self.memory_limit_gb = memory_limit_gb
+
+    def admits(self, pod: ExecutorPod) -> bool:
+        """Would admitting this pod keep usage within the hard limits?"""
+        return (
+            self.cpu_used + pod.cpu <= self.cpu_limit + 1e-9
+            and self.memory_used_gb + pod.memory_gb
+            <= self.memory_limit_gb + 1e-9
+        )
+
+    def charge(self, pod: ExecutorPod) -> None:
+        if not self.admits(pod):
+            raise RuntimeError(f"quota exceeded admitting pod {pod.name}")
+        self.cpu_used += pod.cpu
+        self.memory_used_gb += pod.memory_gb
+
+    def release(self, pod: ExecutorPod) -> None:
+        self.cpu_used = max(0.0, self.cpu_used - pod.cpu)
+        self.memory_used_gb = max(0.0, self.memory_used_gb - pod.memory_gb)
+
+    def executor_headroom(
+        self,
+        cpu_per_executor: float = DEFAULT_EXECUTOR_CPU,
+        memory_per_executor: float = DEFAULT_EXECUTOR_MEMORY_GB,
+    ) -> int:
+        """How many more standard executor pods the quota admits."""
+        by_cpu = (self.cpu_limit - self.cpu_used) / cpu_per_executor
+        by_mem = (self.memory_limit_gb - self.memory_used_gb) / memory_per_executor
+        return max(0, int(min(by_cpu, by_mem) + 1e-9))
+
+
+@dataclass
+class Namespace:
+    """The dedicated Spark namespace of the prototype: pods plus one quota."""
+
+    name: str
+    quota: ResourceQuota
+    pods: dict[str, ExecutorPod] = field(default_factory=dict)
+    _counter: int = 0
+
+    def request_executor(
+        self,
+        job_id: int,
+        cpu: float = DEFAULT_EXECUTOR_CPU,
+        memory_gb: float = DEFAULT_EXECUTOR_MEMORY_GB,
+    ) -> ExecutorPod:
+        """Create a pod request; it starts Pending until admitted."""
+        self._counter += 1
+        pod = ExecutorPod(
+            name=f"{self.name}-exec-{self._counter}",
+            job_id=job_id,
+            cpu=cpu,
+            memory_gb=memory_gb,
+        )
+        self.pods[pod.name] = pod
+        return pod
+
+    def try_admit(self, pod: ExecutorPod) -> bool:
+        """Admission control: move Pending -> Running if the quota allows."""
+        if pod.phase is not PodPhase.PENDING:
+            raise ValueError(f"pod {pod.name} is not pending")
+        if not self.quota.admits(pod):
+            return False
+        self.quota.charge(pod)
+        pod.phase = PodPhase.RUNNING
+        return True
+
+    def complete(self, pod: ExecutorPod) -> None:
+        """Terminate a running pod and release its quota charge."""
+        if pod.phase is not PodPhase.RUNNING:
+            raise ValueError(f"pod {pod.name} is not running")
+        self.quota.release(pod)
+        pod.phase = PodPhase.SUCCEEDED
+
+    def running_count(self) -> int:
+        return sum(
+            1 for p in self.pods.values() if p.phase is PodPhase.RUNNING
+        )
+
+    def pending_count(self) -> int:
+        return sum(
+            1 for p in self.pods.values() if p.phase is PodPhase.PENDING
+        )
+
+    def admit_pending(self) -> int:
+        """Admit as many pending pods as the quota allows (FIFO order).
+
+        Kubernetes retries pending pods as resources free up; the CAP
+        prototype relies on exactly this behaviour after the daemon raises
+        the quota again. Returns the number admitted.
+        """
+        admitted = 0
+        for pod in list(self.pods.values()):
+            if pod.phase is PodPhase.PENDING and self.try_admit(pod):
+                admitted += 1
+        return admitted

@@ -1,0 +1,130 @@
+"""Spark-on-Kubernetes application model: dynamic executor allocation.
+
+Section 5.1: "each application is submitted to the API server that creates
+a 'driver' running in a pod. We use Spark's dynamic allocation feature,
+which enables the driver to create executor pods dynamically as needed by
+the application." Section 6.3 adds the operational cap: "we configure an
+upper limit of 25 executors that can be allocated to any single job" to
+avoid a dynamic-allocation hang.
+
+:class:`SparkApplication` models that control loop at the object level:
+the driver sizes its executor-pod request to the backlog of schedulable
+tasks (one pod per pending task, as Spark's default
+``schedulerBacklogTimeout`` behaviour converges to), bounded by the
+per-application cap; idle executors are released after an idle timeout
+(``executorIdleTimeout``), returning quota to the namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kubernetes.objects import ExecutorPod, Namespace, PodPhase
+
+#: The prototype's per-application executor cap (Section 6.3).
+DEFAULT_MAX_EXECUTORS = 25
+#: Spark's default executorIdleTimeout is 60 s; scaled to experiment time.
+DEFAULT_IDLE_TIMEOUT_S = 1.0
+
+
+@dataclass
+class SparkApplication:
+    """One Spark app: a driver managing executor pods under a namespace.
+
+    The driver does not schedule stages (that is the simulator/scheduler's
+    job); it owns the *pod lifecycle*: how many executors exist, which are
+    idle, and when they are released.
+    """
+
+    app_id: int
+    namespace: Namespace
+    max_executors: int = DEFAULT_MAX_EXECUTORS
+    idle_timeout_s: float = DEFAULT_IDLE_TIMEOUT_S
+    executors: dict[str, ExecutorPod] = field(default_factory=dict)
+    _idle_since: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_executors < 1:
+            raise ValueError("max_executors must be >= 1")
+        if self.idle_timeout_s < 0:
+            raise ValueError("idle_timeout_s must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def running_executors(self) -> list[ExecutorPod]:
+        return [
+            p for p in self.executors.values() if p.phase is PodPhase.RUNNING
+        ]
+
+    @property
+    def pending_executors(self) -> list[ExecutorPod]:
+        return [
+            p for p in self.executors.values() if p.phase is PodPhase.PENDING
+        ]
+
+    def target_executors(self, backlog_tasks: int) -> int:
+        """Dynamic allocation's target: one executor per backlog task,
+        capped at ``max_executors``."""
+        if backlog_tasks < 0:
+            raise ValueError("backlog_tasks must be >= 0")
+        return min(backlog_tasks, self.max_executors)
+
+    # ------------------------------------------------------------------
+    def reconcile(self, backlog_tasks: int, now: float) -> dict[str, int]:
+        """One driver control-loop tick.
+
+        1. Request new pods up to the backlog-derived target (admission may
+           leave some Pending under the namespace quota).
+        2. Release executors idle longer than the idle timeout.
+
+        Returns counters for observability:
+        ``{"requested": r, "admitted": a, "released": l}``.
+        """
+        target = self.target_executors(backlog_tasks)
+        alive = len(self.running_executors) + len(self.pending_executors)
+        requested = 0
+        admitted = 0
+        for _ in range(max(0, target - alive)):
+            pod = self.namespace.request_executor(job_id=self.app_id)
+            self.executors[pod.name] = pod
+            requested += 1
+            if self.namespace.try_admit(pod):
+                admitted += 1
+        # Kubernetes retries earlier pending pods as headroom appears.
+        for pod in self.pending_executors:
+            if self.namespace.try_admit(pod):
+                admitted += 1
+
+        released = 0
+        for pod in list(self.running_executors):
+            idle_since = self._idle_since.get(pod.name)
+            if idle_since is not None and now - idle_since >= self.idle_timeout_s:
+                self.namespace.complete(pod)
+                del self.executors[pod.name]
+                del self._idle_since[pod.name]
+                released += 1
+        return {"requested": requested, "admitted": admitted, "released": released}
+
+    # ------------------------------------------------------------------
+    def mark_idle(self, pod_name: str, now: float) -> None:
+        """The executor finished its task and has nothing queued."""
+        if pod_name not in self.executors:
+            raise KeyError(f"unknown executor {pod_name}")
+        self._idle_since.setdefault(pod_name, now)
+
+    def mark_busy(self, pod_name: str) -> None:
+        """The executor picked up a task; cancel any idle countdown."""
+        if pod_name not in self.executors:
+            raise KeyError(f"unknown executor {pod_name}")
+        self._idle_since.pop(pod_name, None)
+
+    def shutdown(self) -> int:
+        """Application finished: terminate every owned pod."""
+        count = 0
+        for pod in list(self.executors.values()):
+            if pod.phase is PodPhase.RUNNING:
+                self.namespace.complete(pod)
+                count += 1
+            self.executors.pop(pod.name, None)
+        self._idle_since.clear()
+        return count

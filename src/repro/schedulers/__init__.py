@@ -1,0 +1,41 @@
+"""Carbon-agnostic baseline schedulers and provisioners.
+
+These are the baselines of Section 6.1:
+
+- :class:`FIFOScheduler` — Spark standalone's default: first job in, first
+  served, stages in DAG order, executors over-assigned up to the stage's
+  task count (Appendix A.1.2).
+- :class:`KubernetesDefaultScheduler` — the prototype's default behaviour:
+  FIFO stage order within a job while the Kubernetes scheduler mediates
+  executors *across* jobs (pods spread over jobs; per-job 25-executor cap is
+  enforced by the cluster config).
+- :class:`WeightedFairScheduler` — executors proportional to each job's
+  remaining workload ("a heuristic tuned for the simulator's test jobs").
+- :class:`DecimaScheduler` — a probabilistic surrogate for the trained
+  Decima policy (see DESIGN.md for the substitution argument).
+- :class:`GreenHadoopProvisioner` — the paper's GreenHadoop adaptation
+  (Appendix A.1.1): a provisioning policy paired with FIFO dispatch.
+- :mod:`~repro.schedulers.optimal` — exact T-OPT / C-OPT searches for small
+  DAGs (the Fig. 1 motivating comparison).
+"""
+
+from repro.schedulers.decima import DecimaScheduler
+from repro.schedulers.fifo import FIFOScheduler, KubernetesDefaultScheduler
+from repro.schedulers.greenhadoop import GreenHadoopProvisioner
+from repro.schedulers.optimal import (
+    OptimalSchedule,
+    optimal_carbon_schedule,
+    optimal_time_schedule,
+)
+from repro.schedulers.weighted_fair import WeightedFairScheduler
+
+__all__ = [
+    "DecimaScheduler",
+    "FIFOScheduler",
+    "GreenHadoopProvisioner",
+    "KubernetesDefaultScheduler",
+    "OptimalSchedule",
+    "WeightedFairScheduler",
+    "optimal_carbon_schedule",
+    "optimal_time_schedule",
+]

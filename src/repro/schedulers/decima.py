@@ -1,0 +1,100 @@
+"""Probabilistic surrogate for Decima [Mao et al., SIGCOMM'19].
+
+The paper interfaces PCAPS with Decima, an RL scheduler whose GNN policy
+emits scores over ready stages; a masked softmax turns the scores into the
+Definition 4.1 distribution. Training a GNN is out of scope here (and
+unnecessary: PCAPS consumes only the distribution), so this surrogate
+reproduces the *behavioural profile* the Decima paper reports its trained
+policy learns:
+
+1. **SRPT bias** — favour stages of jobs with little remaining work, which
+   is the main source of Decima's average-JCT improvement over FIFO/fair
+   (Mao et al., Section 7.2 observe learned SRPT-like behaviour).
+2. **Bottleneck awareness** — favour stages that gate the most downstream
+   work (critical-path pressure), so bottleneck stages receive probability
+   mass — the property PCAPS's relative-importance metric relies on.
+3. **Locality** — a small bonus for jobs that already hold executors,
+   modelling Decima's learned avoidance of executor-movement costs.
+4. **Moderated parallelism** — Decima learns per-job parallelism limits
+   instead of grabbing whole stages; the surrogate divides the cluster among
+   active jobs.
+
+Scores are combined linearly and softmaxed with a temperature; sampling uses
+a seeded generator, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dag.metrics import bottleneck_scores
+from repro.simulator.interfaces import ProbabilisticPolicy
+from repro.simulator.state import ClusterView, ReadyStage
+
+
+class DecimaScheduler(ProbabilisticPolicy):
+    """Decima-like probabilistic stage scheduler (Definition 4.1).
+
+    Parameters
+    ----------
+    seed:
+        Seed for action sampling.
+    temperature:
+        Softmax temperature; lower is greedier (the paper samples from the
+        softmax, as we do).
+    srpt_weight / bottleneck_weight / locality_weight:
+        Coefficients of the three learned biases described above.
+    """
+
+    name = "decima"
+
+    def __init__(
+        self,
+        seed: int | None = 0,
+        temperature: float = 0.25,
+        srpt_weight: float = 2.0,
+        bottleneck_weight: float = 1.5,
+        locality_weight: float = 0.3,
+    ) -> None:
+        super().__init__(seed=seed, temperature=temperature)
+        self.srpt_weight = srpt_weight
+        self.bottleneck_weight = bottleneck_weight
+        self.locality_weight = locality_weight
+
+    def scores(self, view: ClusterView, ready: list[ReadyStage]) -> np.ndarray:
+        remaining = {
+            job_id: view.job(job_id).remaining_work()
+            for job_id in {r.job_id for r in ready}
+        }
+        max_remaining = max(remaining.values())
+        bottlenecks: dict[int, dict[int, float]] = {}
+        for job_id in remaining:
+            job = view.job(job_id)
+            bottlenecks[job_id] = bottleneck_scores(
+                job.dag, job.completed_stages
+            )
+        out = np.empty(len(ready))
+        for i, r in enumerate(ready):
+            job = view.job(r.job_id)
+            srpt = 1.0 - remaining[r.job_id] / max(max_remaining, 1e-9)
+            bottleneck = bottlenecks[r.job_id].get(r.stage_id, 0.0)
+            locality = 1.0 if job.executors_in_use > 0 else 0.0
+            out[i] = (
+                self.srpt_weight * srpt
+                + self.bottleneck_weight * bottleneck
+                + self.locality_weight * locality
+            )
+        return out
+
+    def parallelism_limit(self, view: ClusterView, choice: ReadyStage) -> int:
+        """Split the cluster among active jobs (Decima's learned moderation).
+
+        Decima learns that flooding one stage with executors starves other
+        jobs; its limits end up near an even division of executors across
+        jobs. We cap the chosen stage at ``ceil(K / active jobs)``.
+        """
+        active = max(view.queued_job_count(), 1)
+        share = math.ceil(view.total_executors / active)
+        return max(1, min(choice.stage.num_tasks, share))

@@ -1,0 +1,134 @@
+"""Training environment for the Decima surrogate.
+
+The paper trains Decima for 20,000 epochs in the simulator's training
+environment (Section 6.1). Our surrogate has a three-weight linear policy
+head instead of a GNN, so its "training" is black-box search over those
+weights against simulated average JCT — the same objective Decima's
+reinforcement learning optimizes. This module provides that loop:
+cross-entropy-style random search with elite averaging, evaluated on
+seeded workloads so results are reproducible.
+
+This is deliberately small (the policy has three degrees of freedom), but
+it exercises the same substrate the paper's training does — the simulator
+as an environment returning JCT rewards — and produces weights measurably
+better than untuned ones (see tests and the ``examples/train_decima.py``
+walkthrough).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.carbon.grids import synthesize_trace
+from repro.schedulers.decima import DecimaScheduler
+from repro.simulator.engine import ClusterConfig, Simulation
+from repro.workloads.batch import WorkloadSpec, build_workload
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Search-loop hyperparameters and evaluation environment."""
+
+    num_rounds: int = 8
+    population: int = 12
+    elite_fraction: float = 0.25
+    num_eval_workloads: int = 2
+    num_executors: int = 16
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec(family="tpch", num_jobs=8)
+    )
+    grid: str = "DE"
+    trace_hours: int = 1200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1 or self.population < 2:
+            raise ValueError("need num_rounds >= 1 and population >= 2")
+        if not 0.0 < self.elite_fraction <= 1.0:
+            raise ValueError("elite_fraction must be in (0, 1]")
+        if self.num_eval_workloads < 1:
+            raise ValueError("num_eval_workloads must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of one search run."""
+
+    weights: tuple[float, float, float]  # (srpt, bottleneck, locality)
+    avg_jct: float
+    history: tuple[float, ...]  # best avg JCT per round
+
+    @property
+    def improved(self) -> bool:
+        return self.history[-1] <= self.history[0]
+
+
+def evaluate_weights(
+    weights: tuple[float, float, float],
+    config: TrainingConfig,
+) -> float:
+    """Average JCT of a Decima surrogate with these weights (lower=better)."""
+    srpt, bottleneck, locality = weights
+    trace = synthesize_trace(
+        config.grid, hours=config.trace_hours, seed=config.seed
+    )
+    jcts = []
+    for i in range(config.num_eval_workloads):
+        submissions = build_workload(config.workload, seed=config.seed + i)
+        scheduler = DecimaScheduler(
+            seed=config.seed,
+            srpt_weight=srpt,
+            bottleneck_weight=bottleneck,
+            locality_weight=locality,
+        )
+        sim = Simulation(
+            config=ClusterConfig(num_executors=config.num_executors),
+            scheduler=scheduler,
+            carbon_api=CarbonIntensityAPI(trace),
+        )
+        jcts.append(sim.run(submissions).avg_jct)
+    return float(np.mean(jcts))
+
+
+def tune_decima_weights(
+    config: TrainingConfig | None = None,
+) -> TrainingResult:
+    """Cross-entropy search over the surrogate's three policy weights.
+
+    Each round samples a population of weight vectors around the current
+    mean, evaluates average JCT on seeded workloads, and refits the mean
+    and spread to the elite quantile. Weights are constrained non-negative.
+    """
+    config = config or TrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    mean = np.array([1.0, 1.0, 0.5])
+    spread = np.array([1.0, 1.0, 0.5])
+    num_elite = max(1, int(round(config.population * config.elite_fraction)))
+
+    best_weights = tuple(float(w) for w in mean)
+    best_jct = evaluate_weights(best_weights, config)
+    history = [best_jct]
+
+    for _ in range(config.num_rounds):
+        candidates = np.clip(
+            rng.normal(mean, spread, size=(config.population, 3)), 0.0, None
+        )
+        scores = [
+            evaluate_weights(tuple(map(float, w)), config) for w in candidates
+        ]
+        order = np.argsort(scores)
+        elite = candidates[order[:num_elite]]
+        mean = elite.mean(axis=0)
+        spread = elite.std(axis=0) + 0.05  # keep exploring
+        round_best = float(scores[order[0]])
+        if round_best < best_jct:
+            best_jct = round_best
+            best_weights = tuple(float(w) for w in candidates[order[0]])
+        history.append(best_jct)
+
+    return TrainingResult(
+        weights=best_weights, avg_jct=best_jct, history=tuple(history)
+    )

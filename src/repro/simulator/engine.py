@@ -1,0 +1,390 @@
+"""The event-driven simulation engine.
+
+Scheduling events occur on job arrivals, task completions, and carbon
+intensity changes (Algorithm 1, line 2 defines exactly this event set). At
+each event the engine runs an *assignment pass*: it computes the current
+provisioning quota, then repeatedly asks the stage scheduler for a choice
+until executors run out, the quota binds, nothing is ready, or the scheduler
+declines (a deferral). Quotas are enforced without preemption, matching both
+CAP's design and the Kubernetes resource-quota semantics of the prototype
+("when the quota is lowered, existing pods are not preempted, but new pods
+are not scheduled until usage falls below the quota").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time as _wallclock
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.simulator.interfaces import Provisioner, StageScheduler
+from repro.simulator.metrics import ExperimentResult
+from repro.simulator.state import ClusterView, JobRuntime
+from repro.simulator.trace import HoldRecord, ScheduleTrace, TaskRecord
+from repro.workloads.arrivals import JobSubmission
+
+_ARRIVAL, _TASK_DONE, _CARBON_STEP = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    Parameters
+    ----------
+    num_executors:
+        Cluster size ``K``.
+    executor_move_delay:
+        Seconds an executor spends relocating when it switches to a
+        different job (the Decima simulator's executor-movement delay). The
+        executor is busy — and accrues carbon — during the move.
+    per_job_executor_cap:
+        Maximum concurrent executors per job. ``None`` reproduces Spark
+        standalone mode (stages can grab up to their task count); the
+        prototype's Spark-on-Kubernetes mode uses 25 (Section 6.3).
+    mode:
+        Label only: ``"standalone"`` or ``"kubernetes"``.
+    """
+
+    num_executors: int = 50
+    executor_move_delay: float = 0.5
+    per_job_executor_cap: int | None = None
+    mode: str = "standalone"
+    idle_power_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_executors < 1:
+            raise ValueError("need at least one executor")
+        if self.executor_move_delay < 0:
+            raise ValueError("executor_move_delay must be >= 0")
+        if self.per_job_executor_cap is not None and self.per_job_executor_cap < 1:
+            raise ValueError("per_job_executor_cap must be >= 1")
+        if not 0.0 <= self.idle_power_fraction <= 1.0:
+            raise ValueError("idle_power_fraction must be in [0, 1]")
+
+    @classmethod
+    def standalone(cls, num_executors: int, **kwargs) -> "ClusterConfig":
+        """Spark standalone mode: no per-job executor cap (simulator mode)."""
+        return cls(
+            num_executors=num_executors, per_job_executor_cap=None,
+            mode="standalone", **kwargs,
+        )
+
+    @classmethod
+    def kubernetes(
+        cls, num_executors: int, per_job_cap: int = 25, **kwargs
+    ) -> "ClusterConfig":
+        """Spark-on-Kubernetes mode: per-job cap, as in the prototype."""
+        return cls(
+            num_executors=num_executors, per_job_executor_cap=per_job_cap,
+            mode="kubernetes", **kwargs,
+        )
+
+
+class _ExecutorPool:
+    """Free executors, with optional per-job reservations.
+
+    Under hoarding semantics (``StageScheduler.holds_executors``), executors
+    released by a still-running job go into that job's reserved list instead
+    of the general pool; :meth:`unreserve` returns them when the job
+    completes.
+    """
+
+    def __init__(self, count: int) -> None:
+        self.general: list[int] = list(range(count))
+        self.reserved: dict[int, list[int]] = {}
+        self.last_job: list[int | None] = [None] * count
+
+    def take(self, job_id: int) -> tuple[int, bool]:
+        """Pop an executor for ``job_id``; returns ``(id, needs_move)``.
+
+        Preference order: the job's reserved executors, then a general
+        executor last bound to this job (no move), then any general one.
+        """
+        held = self.reserved.get(job_id)
+        if held:
+            return held.pop(), False
+        for pos, executor_id in enumerate(self.general):
+            if self.last_job[executor_id] == job_id:
+                self.general.pop(pos)
+                return executor_id, False
+        return self.general.pop(), True
+
+    def release(self, executor_id: int, job_id: int, hold: bool) -> None:
+        self.last_job[executor_id] = job_id
+        if hold:
+            self.reserved.setdefault(job_id, []).append(executor_id)
+        else:
+            self.general.append(executor_id)
+
+    def unreserve(self, job_id: int) -> list[int]:
+        """Return a finished job's held executors to the general pool."""
+        held = self.reserved.pop(job_id, [])
+        self.general.extend(held)
+        return held
+
+    def free_for(self, job_id: int) -> int:
+        return len(self.general) + len(self.reserved.get(job_id, ()))
+
+    @property
+    def general_free(self) -> int:
+        return len(self.general)
+
+    @property
+    def free_count(self) -> int:
+        return len(self.general) + sum(len(v) for v in self.reserved.values())
+
+    def reserved_counts(self) -> dict[int, int]:
+        return {job_id: len(v) for job_id, v in self.reserved.items() if v}
+
+
+class Simulation:
+    """One experiment: a scheduler (plus optional provisioner) on a cluster.
+
+    Parameters
+    ----------
+    config:
+        Cluster description.
+    scheduler:
+        The stage scheduler under test.
+    carbon_api:
+        Carbon intensity source (drives both PCAPS/CAP decisions and the
+        ex-post accounting).
+    provisioner:
+        Optional cluster-wide quota policy (CAP, GreenHadoop).
+    measure_latency:
+        Record wall-clock time spent inside ``scheduler.select`` (Fig. 20).
+    max_time:
+        Safety limit on simulated time; exceeding it raises ``RuntimeError``
+        (guards against schedulers that never make progress).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        scheduler: StageScheduler,
+        carbon_api: CarbonIntensityAPI,
+        provisioner: Provisioner | None = None,
+        measure_latency: bool = False,
+        max_time: float | None = None,
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.carbon_api = carbon_api
+        self.provisioner = provisioner
+        self.measure_latency = measure_latency
+        self.max_time = max_time
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def run(self, submissions: Sequence[JobSubmission]) -> ExperimentResult:
+        """Simulate the batch to completion and return the measurements."""
+        if not submissions:
+            raise ValueError("need at least one job submission")
+        self.scheduler.reset()
+        if self.provisioner is not None:
+            self.provisioner.reset()
+
+        jobs: dict[int, JobRuntime] = {}
+        pool = _ExecutorPool(self.config.num_executors)
+        trace = ScheduleTrace(
+            total_executors=self.config.num_executors,
+            idle_power_fraction=self.config.idle_power_fraction,
+        )
+        events: list[tuple[float, int, int, tuple]] = []
+        sched_time = 0.0
+        sched_calls = 0
+        holds = self.scheduler.holds_executors
+        # First grant time per (job, executor), for HoldRecord emission.
+        first_take: dict[tuple[int, int], float] = {}
+
+        def push(t: float, kind: int, payload: tuple = ()) -> None:
+            heapq.heappush(events, (t, next(self._seq), kind, payload))
+
+        for sub in submissions:
+            push(sub.arrival_time, _ARRIVAL, (sub,))
+        pending_arrivals = len(submissions)
+        carbon_event_at: float | None = None
+
+        while events:
+            now = events[0][0]
+            if self.max_time is not None and now > self.max_time:
+                raise RuntimeError(
+                    f"simulation exceeded max_time={self.max_time}; "
+                    f"scheduler {self.scheduler.name!r} may not be making progress"
+                )
+            # Drain every event at this timestamp before scheduling.
+            while events and events[0][0] == now:
+                _, _, kind, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    sub = payload[0]
+                    jobs[sub.job_id] = JobRuntime(
+                        job_id=sub.job_id, dag=sub.dag, arrival_time=now
+                    )
+                    pending_arrivals -= 1
+                elif kind == _TASK_DONE:
+                    job_id, stage_id, executor_id = payload
+                    job_done = jobs[job_id].record_task_finish(stage_id, now)
+                    pool.release(executor_id, job_id, hold=holds and not job_done)
+                    if holds and job_done:
+                        # Close the job's hold intervals and free its roster.
+                        pool.unreserve(job_id)
+                        for (jid, eid), start in list(first_take.items()):
+                            if jid == job_id:
+                                trace.add_hold(
+                                    HoldRecord(
+                                        job_id=jid,
+                                        executor_id=eid,
+                                        start=start,
+                                        end=now,
+                                    )
+                                )
+                                del first_take[(jid, eid)]
+                elif kind == _CARBON_STEP:
+                    carbon_event_at = None
+
+            # Assignment pass.
+            reading = self.carbon_api.reading(now)
+            busy = self.config.num_executors - pool.free_count
+            quota = self.config.num_executors
+            if self.provisioner is not None:
+                pre_view = ClusterView(
+                    time=now,
+                    total_executors=self.config.num_executors,
+                    busy_executors=busy,
+                    quota=quota,
+                    jobs=jobs,
+                    carbon=reading,
+                    per_job_cap=self.config.per_job_executor_cap,
+                    general_free=pool.general_free,
+                    reserved_free=pool.reserved_counts(),
+                )
+                quota = max(1, min(self.provisioner.quota(pre_view), quota))
+            trace.add_quota(now, quota)
+
+            blocked: set[tuple[int, int]] = set()
+            while pool.free_count > 0 and busy < quota:
+                view = ClusterView(
+                    time=now,
+                    total_executors=self.config.num_executors,
+                    busy_executors=busy,
+                    quota=quota,
+                    jobs=jobs,
+                    carbon=reading,
+                    per_job_cap=self.config.per_job_executor_cap,
+                    blocked=frozenset(blocked),
+                    general_free=pool.general_free,
+                    reserved_free=pool.reserved_counts(),
+                )
+                if not any(r.slots > 0 for r in view.ready_stages()):
+                    break
+                if self.measure_latency:
+                    t0 = _wallclock.perf_counter()
+                    choice = self.scheduler.select(view)
+                    sched_time += _wallclock.perf_counter() - t0
+                    sched_calls += 1
+                else:
+                    choice = self.scheduler.select(view)
+                if choice is None:
+                    trace.deferrals += 1
+                    break
+                job = jobs[choice.job_id]
+                runtime = job.stages[choice.stage_id]
+                limit = (
+                    choice.parallelism_limit
+                    if choice.parallelism_limit is not None
+                    else runtime.stage.num_tasks
+                )
+                if self.provisioner is not None:
+                    limit = self.provisioner.scale_parallelism(limit, view)
+                limit = max(1, limit)
+                assignable = min(
+                    pool.free_for(choice.job_id),
+                    quota - busy,
+                    runtime.unlaunched,
+                    limit - runtime.running,
+                )
+                if self.config.per_job_executor_cap is not None:
+                    assignable = min(
+                        assignable,
+                        self.config.per_job_executor_cap - job.executors_in_use,
+                    )
+                if assignable <= 0:
+                    blocked.add((choice.job_id, choice.stage_id))
+                    continue
+                for _ in range(assignable):
+                    executor_id, needs_move = pool.take(choice.job_id)
+                    if holds and (choice.job_id, executor_id) not in first_take:
+                        first_take[(choice.job_id, executor_id)] = now
+                    delay = (
+                        self.config.executor_move_delay if needs_move else 0.0
+                    )
+                    task_index = runtime.launched
+                    runtime.launch(1)
+                    start = now
+                    work_start = now + delay
+                    end = work_start + runtime.stage.task_duration
+                    trace.add_task(
+                        TaskRecord(
+                            job_id=choice.job_id,
+                            stage_id=choice.stage_id,
+                            task_index=task_index,
+                            executor_id=executor_id,
+                            start=start,
+                            work_start=work_start,
+                            end=end,
+                        )
+                    )
+                    push(end, _TASK_DONE, (choice.job_id, choice.stage_id, executor_id))
+                    busy += 1
+
+            # Keep carbon steps flowing while any work is outstanding, so
+            # deferrals always have a future scheduling event to wake on.
+            outstanding = pending_arrivals > 0 or any(
+                not job.done for job in jobs.values()
+            )
+            if outstanding and carbon_event_at is None:
+                carbon_event_at = self.carbon_api.trace.next_change_after(now)
+                push(carbon_event_at, _CARBON_STEP)
+
+        unfinished = [job_id for job_id, job in jobs.items() if not job.done]
+        if unfinished or len(jobs) != len(submissions):
+            raise RuntimeError(f"simulation ended with unfinished jobs: {unfinished}")
+
+        return ExperimentResult(
+            scheduler_name=self.scheduler.name,
+            trace=trace,
+            carbon_trace=self.carbon_api.trace,
+            arrivals={job_id: job.arrival_time for job_id, job in jobs.items()},
+            finishes={job_id: job.finish_time for job_id, job in jobs.items()},
+            scheduler_time_s=sched_time,
+            scheduler_invocations=sched_calls,
+        )
+
+
+def simulate(
+    submissions: Sequence[JobSubmission],
+    scheduler: StageScheduler,
+    carbon_api: CarbonIntensityAPI,
+    config: ClusterConfig | None = None,
+    provisioner: Provisioner | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    sim = Simulation(
+        config=config or ClusterConfig(),
+        scheduler=scheduler,
+        carbon_api=carbon_api,
+        provisioner=provisioner,
+        **kwargs,
+    )
+    return sim.run(submissions)
+
+
+def expected_serial_work(submissions: Sequence[JobSubmission]) -> float:
+    """Total executor-seconds in a batch (sanity checks and sizing)."""
+    return math.fsum(sub.dag.total_work for sub in submissions)

@@ -1,0 +1,188 @@
+"""Scheduler and provisioner interfaces.
+
+Two orthogonal extension points mirror the paper's architecture:
+
+- a :class:`StageScheduler` decides *which ready stage* gets executors next
+  (Spark's stage scheduling); :class:`ProbabilisticPolicy` is the
+  Definition 4.1 refinement that PCAPS wraps;
+- a :class:`Provisioner` decides *how many executors the whole cluster may
+  use* (CAP's resource quota, GreenHadoop's window-derived limit), enforced
+  by the engine without preemption.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.state import ClusterView, ReadyStage
+
+
+@dataclass(frozen=True)
+class StageChoice:
+    """A scheduler's decision: grow this stage, up to this parallelism.
+
+    ``parallelism_limit`` bounds the stage's *concurrent* executors (running
+    plus newly assigned); ``None`` means "no limit beyond the task count".
+    """
+
+    job_id: int
+    stage_id: int
+    parallelism_limit: int | None = None
+
+
+class StageScheduler(abc.ABC):
+    """Picks one ready stage per call; the engine loops until executors run
+    out, the scheduler declines (returns ``None``), or nothing is ready."""
+
+    #: Display name used in result tables.
+    name: str = "scheduler"
+
+    #: Spark standalone semantics: executors granted to a job stay bound to
+    #: it (idle but unavailable, still drawing power) until the job
+    #: completes. Appendix A.1.2 attributes FIFO's inflated JCT *and* carbon
+    #: footprint in the simulator to exactly this hoarding; dynamic-
+    #: allocation schedulers (Decima, the Kubernetes default) release
+    #: executors after each task.
+    holds_executors: bool = False
+
+    @abc.abstractmethod
+    def select(self, view: ClusterView) -> StageChoice | None:
+        """Choose a stage to receive executors, or ``None`` to idle.
+
+        Returning ``None`` leaves all remaining free executors idle until
+        the next scheduling event (job arrival, task completion, or carbon
+        step) — the deferral mechanism of Algorithm 1.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-experiment state (default: stateless)."""
+
+
+class ProbabilisticPolicy(StageScheduler):
+    """A Definition 4.1 scheduler: emits a distribution over ready stages.
+
+    Subclasses implement :meth:`scores`; the base class converts scores to a
+    masked-softmax distribution, samples from it, and exposes both — which is
+    exactly the interface PCAPS consumes (probabilities plus a sampled node).
+    """
+
+    def __init__(self, seed: int | None = 0, temperature: float = 1.0) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    @abc.abstractmethod
+    def scores(self, view: ClusterView, ready: list[ReadyStage]) -> np.ndarray:
+        """Unnormalized preference scores, one per entry of ``ready``."""
+
+    def parallelism_limit(self, view: ClusterView, choice: ReadyStage) -> int:
+        """Parallelism limit for a chosen stage (default: all its tasks)."""
+        return choice.stage.num_tasks
+
+    def distribution(
+        self, view: ClusterView, ready: list[ReadyStage]
+    ) -> np.ndarray:
+        """Masked softmax over the ready frontier (Decima's action head)."""
+        if not ready:
+            return np.zeros(0)
+        raw = np.asarray(self.scores(view, ready), dtype=float)
+        if raw.shape != (len(ready),):
+            raise ValueError("scores must return one value per ready stage")
+        scaled = raw / self.temperature
+        scaled -= scaled.max()
+        weights = np.exp(scaled)
+        return weights / weights.sum()
+
+    def sample(
+        self, view: ClusterView, ready: list[ReadyStage]
+    ) -> tuple[int, np.ndarray]:
+        """Sample an index into ``ready``; also return the distribution."""
+        probs = self.distribution(view, ready)
+        index = int(self._rng.choice(len(ready), p=probs))
+        return index, probs
+
+    def sample_with_importance(
+        self, view: ClusterView
+    ) -> tuple[ReadyStage, float] | None:
+        """Sample an assignable stage plus its Definition 4.2 importance.
+
+        The distribution is computed over the *full* frontier ``A_t``
+        (including stages whose tasks are all in flight — they carry
+        probability mass and anchor the normalization) while sampling is
+        restricted to assignable stages, mirroring Decima's action mask.
+        Returns ``None`` when nothing is assignable.
+        """
+        full = view.ready_stages(include_saturated=True)
+        assignable = [i for i, r in enumerate(full) if r.slots > 0]
+        if not assignable:
+            return None
+        probs = self.distribution(view, full)
+        weights = probs[assignable]
+        total = weights.sum()
+        if total <= 0:
+            weights = np.full(len(assignable), 1.0 / len(assignable))
+        else:
+            weights = weights / total
+        pick = assignable[int(self._rng.choice(len(assignable), p=weights))]
+        peak = probs.max()
+        importance = float(probs[pick] / peak) if peak > 0 else 1.0
+        return full[pick], importance
+
+    def select(self, view: ClusterView) -> StageChoice | None:
+        ready = view.ready_stages()
+        ready = [r for r in ready if r.slots > 0]
+        if not ready:
+            return None
+        index, _ = self.sample(view, ready)
+        chosen = ready[index]
+        return StageChoice(
+            job_id=chosen.job_id,
+            stage_id=chosen.stage_id,
+            parallelism_limit=self.parallelism_limit(view, chosen),
+        )
+
+
+class Provisioner(abc.ABC):
+    """Computes the cluster-wide executor quota at a point in time."""
+
+    name: str = "provisioner"
+
+    @abc.abstractmethod
+    def quota(self, view: ClusterView) -> int:
+        """Maximum number of busy executors allowed at ``view.time``.
+
+        The engine enforces the quota without preemption: running tasks
+        always finish, but no new assignment is made while ``busy >= quota``.
+        """
+
+    def scale_parallelism(self, limit: int, view: ClusterView) -> int:
+        """Optionally shrink a scheduler-chosen parallelism limit.
+
+        Default: identity. CAP overrides this with ``ceil(P * r(t)/K)``
+        (Section 5.1, "Setting level of parallelism").
+        """
+        return limit
+
+    def reset(self) -> None:
+        """Clear any per-experiment state (default: stateless)."""
+
+
+class StaticProvisioner(Provisioner):
+    """A fixed quota — useful for tests and for modelling smaller clusters."""
+
+    def __init__(self, quota: int) -> None:
+        if quota < 1:
+            raise ValueError("quota must be >= 1")
+        self._quota = quota
+        self.name = f"static({quota})"
+
+    def quota(self, view: ClusterView) -> int:
+        return self._quota

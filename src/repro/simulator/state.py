@@ -1,0 +1,239 @@
+"""Runtime cluster state and the read-only view handed to schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.carbon.api import CarbonReading
+from repro.dag.graph import JobDAG, Stage
+
+
+@dataclass
+class StageRuntime:
+    """Progress of one stage of one running job.
+
+    ``launched`` counts tasks ever handed to an executor, ``finished`` counts
+    completed tasks; tasks in flight are ``launched - finished``.
+    """
+
+    stage: Stage
+    launched: int = 0
+    finished: int = 0
+
+    @property
+    def running(self) -> int:
+        return self.launched - self.finished
+
+    @property
+    def unlaunched(self) -> int:
+        return self.stage.num_tasks - self.launched
+
+    @property
+    def complete(self) -> bool:
+        return self.finished >= self.stage.num_tasks
+
+    def launch(self, count: int) -> None:
+        if count <= 0 or count > self.unlaunched:
+            raise ValueError(
+                f"cannot launch {count} tasks; {self.unlaunched} remain unlaunched"
+            )
+        self.launched += count
+
+    def finish_one(self) -> None:
+        if self.running <= 0:
+            raise RuntimeError("no running task to finish")
+        self.finished += 1
+
+
+@dataclass
+class JobRuntime:
+    """Progress of one job: its DAG plus per-stage runtime counters."""
+
+    job_id: int
+    dag: JobDAG
+    arrival_time: float
+    stages: dict[int, StageRuntime] = field(default_factory=dict)
+    completed_stages: set[int] = field(default_factory=set)
+    finish_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            self.stages = {
+                sid: StageRuntime(stage) for sid, stage in self.dag.stages.items()
+            }
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def executors_in_use(self) -> int:
+        return sum(sr.running for sr in self.stages.values())
+
+    def remaining_work(self) -> float:
+        """Executor-seconds of not-yet-finished tasks (including in-flight)."""
+        return sum(
+            (sr.stage.num_tasks - sr.finished) * sr.stage.task_duration
+            for sr in self.stages.values()
+        )
+
+    def ready_stage_ids(self, include_running: bool = False) -> tuple[int, ...]:
+        """The frontier ``A_t`` of Definition 4.1.
+
+        With ``include_running=False`` (the default) only stages that can
+        absorb another executor are returned — the assignable frontier. With
+        ``include_running=True`` the frontier additionally contains stages
+        whose tasks are all launched but not yet finished: Definition 4.1's
+        "ready to be executed" set, which running bottleneck stages remain
+        part of until they complete. Relative importance (Definition 4.2) is
+        normalized over this full set, so a side stage stays unimportant
+        while a bottleneck stage is still running.
+        """
+        done = self.completed_stages
+        out = []
+        for sid in self.dag.topological_order():
+            if sid in done:
+                continue
+            if not all(p in done for p in self.dag.stage(sid).parents):
+                continue
+            if self.stages[sid].unlaunched > 0 or include_running:
+                out.append(sid)
+        return tuple(out)
+
+    def record_task_finish(self, stage_id: int, now: float) -> bool:
+        """Mark one task finished; returns True if the whole job completed."""
+        runtime = self.stages[stage_id]
+        runtime.finish_one()
+        if runtime.complete:
+            self.completed_stages.add(stage_id)
+            if len(self.completed_stages) == len(self.dag):
+                self.finish_time = now
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class ReadyStage:
+    """One schedulable (job, stage) pair, with its current slack.
+
+    ``slots`` is the number of additional executors the engine would accept
+    for this stage right now, accounting for unlaunched tasks and the quota
+    computed at the top of the scheduling pass. Schedulers must only choose
+    entries with ``slots > 0``.
+    """
+
+    job_id: int
+    stage_id: int
+    stage: Stage
+    unlaunched: int
+    running: int
+    slots: int
+
+
+class ClusterView:
+    """Read-only snapshot handed to schedulers at a scheduling event.
+
+    Exposes everything Definition 4.1's schedulers and the carbon-aware
+    wrappers need: the frontier of ready stages, executor occupancy, the
+    current carbon reading, and per-job progress. Schedulers must treat it as
+    immutable.
+    """
+
+    def __init__(
+        self,
+        time: float,
+        total_executors: int,
+        busy_executors: int,
+        quota: int,
+        jobs: dict[int, JobRuntime],
+        carbon: CarbonReading,
+        per_job_cap: int | None = None,
+        blocked: frozenset[tuple[int, int]] = frozenset(),
+        general_free: int | None = None,
+        reserved_free: dict[int, int] | None = None,
+    ) -> None:
+        self.time = time
+        self.total_executors = total_executors
+        self.busy_executors = busy_executors
+        self.quota = quota
+        self.carbon = carbon
+        self.per_job_cap = per_job_cap
+        self._jobs = jobs
+        self._blocked = blocked
+        #: Executors in the shared pool (any job may take these). Under
+        #: hoarding semantics idle-but-bound executors are *not* here.
+        self.general_free = (
+            general_free
+            if general_free is not None
+            else total_executors - busy_executors
+        )
+        #: Idle executors bound to a still-running job (hoarding semantics).
+        self.reserved_free = dict(reserved_free or {})
+
+    @property
+    def free_executors(self) -> int:
+        """All idle executors, bound or not."""
+        return self.general_free + sum(self.reserved_free.values())
+
+    @property
+    def assignable_executors(self) -> int:
+        """Executors the quota allows to be put to work right now."""
+        return max(0, min(self.free_executors, self.quota - self.busy_executors))
+
+    def active_jobs(self) -> Iterator[JobRuntime]:
+        """Jobs that have arrived and not yet finished, in arrival order."""
+        for job in sorted(self._jobs.values(), key=lambda j: j.arrival_time):
+            if not job.done:
+                yield job
+
+    def job(self, job_id: int) -> JobRuntime:
+        return self._jobs[job_id]
+
+    def ready_stages(self, include_saturated: bool = False) -> list[ReadyStage]:
+        """The frontier across all active jobs.
+
+        With ``include_saturated=False`` only assignable stages appear.
+        With ``include_saturated=True`` the list is Definition 4.1's full
+        ``A_t``: stages whose tasks are all in flight are included with
+        ``slots == 0`` so probabilistic schedulers can normalize importance
+        over them (they must still never be *chosen* for assignment).
+
+        Entries blocked earlier in the same scheduling pass (because the
+        engine could not grow them) are excluded, which guarantees the
+        assignment loop terminates.
+        """
+        out: list[ReadyStage] = []
+        quota_room = max(0, self.quota - self.busy_executors)
+        for job in self.active_jobs():
+            job_pool = self.general_free + self.reserved_free.get(job.job_id, 0)
+            budget = min(quota_room, job_pool)
+            job_headroom = (
+                self.per_job_cap - job.executors_in_use
+                if self.per_job_cap is not None
+                else budget
+            )
+            for sid in job.ready_stage_ids(include_running=include_saturated):
+                if (job.job_id, sid) in self._blocked:
+                    continue
+                runtime = job.stages[sid]
+                slots = min(runtime.unlaunched, budget, max(job_headroom, 0))
+                if slots <= 0 and not include_saturated:
+                    # Zero-slot entries are only meaningful to Definition 4.2
+                    # normalization; hide them from plain schedulers.
+                    if runtime.unlaunched <= 0:
+                        continue
+                out.append(
+                    ReadyStage(
+                        job_id=job.job_id,
+                        stage_id=sid,
+                        stage=runtime.stage,
+                        unlaunched=runtime.unlaunched,
+                        running=runtime.running,
+                        slots=max(slots, 0),
+                    )
+                )
+        return out
+
+    def queued_job_count(self) -> int:
+        return sum(1 for _ in self.active_jobs())

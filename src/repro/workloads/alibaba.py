@@ -1,0 +1,156 @@
+"""Alibaba-trace-like DAG workloads.
+
+The paper's prototype uses DAG structures from the Alibaba cluster-trace-v2018
+dataset and reports three aggregate properties (Section 6.1): a realistic
+power-law duration distribution (many short jobs, few long ones), an average
+of 66 stages per DAG, and an average single-executor duration of 7,989 s —
+scaled by 1/60 to match the experiment time scale (≈133 s, "2.2 real-time
+minutes on average").
+
+This module generates DAGs matching those statistics: layered graphs with
+random fan-in (every non-root stage depends on at least one stage of an
+earlier layer), Pareto-distributed total durations, and Dirichlet work
+splits across stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import JobDAG, Stage
+
+#: Average serial duration before scaling, from the paper.
+ALIBABA_MEAN_DURATION_S = 7989.0
+#: The paper's time-scale factor ("we scale all durations by 1/60").
+ALIBABA_DURATION_SCALE = 1.0 / 60.0
+#: Average number of stages per DAG, from the paper.
+ALIBABA_MEAN_NODES = 66
+
+
+@dataclass(frozen=True)
+class AlibabaWorkloadModel:
+    """Tunable generator parameters (defaults reproduce the paper's stats).
+
+    Parameters
+    ----------
+    mean_duration:
+        Mean *unscaled* serial duration in seconds.
+    duration_scale:
+        Multiplier applied to every duration (paper: 1/60).
+    pareto_shape:
+        Tail index of the Pareto duration distribution; must be > 1 so the
+        mean exists. 1.9 gives the heavy "few long jobs" tail.
+    mean_nodes:
+        Average stage count per DAG.
+    min_nodes / max_nodes:
+        Hard bounds on the stage count.
+    max_tasks_per_stage:
+        Upper bound on per-stage task counts.
+    """
+
+    mean_duration: float = ALIBABA_MEAN_DURATION_S
+    duration_scale: float = ALIBABA_DURATION_SCALE
+    pareto_shape: float = 1.9
+    mean_nodes: int = ALIBABA_MEAN_NODES
+    min_nodes: int = 6
+    max_nodes: int = 300
+    max_tasks_per_stage: int = 8
+
+    def __post_init__(self) -> None:
+        if self.pareto_shape <= 1.0:
+            raise ValueError("pareto_shape must be > 1 for a finite mean")
+        if not (0 < self.min_nodes <= self.mean_nodes <= self.max_nodes):
+            raise ValueError("need 0 < min_nodes <= mean_nodes <= max_nodes")
+
+    @property
+    def pareto_minimum(self) -> float:
+        """Pareto location parameter implied by the target mean."""
+        a = self.pareto_shape
+        return self.mean_duration * (a - 1.0) / a
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        """One unscaled serial duration (seconds), Pareto distributed."""
+        a = self.pareto_shape
+        return float(self.pareto_minimum * (1.0 + rng.pareto(a)))
+
+    def sample_node_count(self, rng: np.random.Generator) -> int:
+        """One stage count, geometric-like around the target mean."""
+        lam = float(self.mean_nodes - self.min_nodes)
+        n = self.min_nodes + int(rng.exponential(lam)) if lam > 0 else self.min_nodes
+        return int(np.clip(n, self.min_nodes, self.max_nodes))
+
+
+def alibaba_job(
+    seed: int | None = None,
+    model: AlibabaWorkloadModel | None = None,
+    rng: np.random.Generator | None = None,
+    name: str = "",
+) -> JobDAG:
+    """Generate one Alibaba-like job DAG.
+
+    Either ``seed`` or an existing ``rng`` may be supplied; passing the same
+    seed always yields the same DAG.
+    """
+    model = model or AlibabaWorkloadModel()
+    rng = rng if rng is not None else np.random.default_rng(seed)
+
+    n = model.sample_node_count(rng)
+    total_work = model.sample_duration(rng) * model.duration_scale
+
+    # Layered structure: layer count ~ sqrt(n) gives both width (parallelism)
+    # and depth (precedence chains), matching production DAG shapes.
+    num_layers = max(2, int(round(np.sqrt(n))))
+    layer_of = np.sort(rng.integers(0, num_layers, size=n))
+    layer_of[0] = 0  # guarantee at least one root
+    layers: list[list[int]] = [[] for _ in range(num_layers)]
+    for sid, layer in enumerate(layer_of):
+        layers[int(layer)].append(sid)
+    layers = [layer for layer in layers if layer]  # drop empty layers
+
+    work_split = rng.dirichlet(np.full(n, 1.0)) * total_work
+    stages: list[Stage] = []
+    for depth, layer in enumerate(layers):
+        for sid in layer:
+            if depth == 0:
+                parents: tuple[int, ...] = ()
+            else:
+                # 1-3 parents sampled from the previous layer; occasional
+                # skip edges from older layers add realistic cross-links.
+                prev = layers[depth - 1]
+                k = int(min(len(prev), 1 + rng.integers(0, 3)))
+                chosen = set(
+                    int(p) for p in rng.choice(prev, size=k, replace=False)
+                )
+                if depth >= 2 and rng.random() < 0.15:
+                    older = layers[int(rng.integers(0, depth - 1))]
+                    chosen.add(int(older[int(rng.integers(len(older)))]))
+                parents = tuple(sorted(chosen))
+            tasks = int(1 + rng.integers(0, model.max_tasks_per_stage))
+            work = max(float(work_split[sid]), 1e-3)
+            stages.append(
+                Stage(
+                    stage_id=sid,
+                    num_tasks=tasks,
+                    task_duration=work / tasks,
+                    parents=parents,
+                    name=f"s{sid}",
+                )
+            )
+    return JobDAG(stages, name=name or f"alibaba-{n}n")
+
+
+def random_alibaba_batch(
+    num_jobs: int,
+    seed: int | None = 0,
+    model: AlibabaWorkloadModel | None = None,
+) -> list[JobDAG]:
+    """Generate ``num_jobs`` independent Alibaba-like DAGs."""
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    rng = np.random.default_rng(seed)
+    return [
+        alibaba_job(rng=rng, model=model, name=f"alibaba-{i}")
+        for i in range(num_jobs)
+    ]

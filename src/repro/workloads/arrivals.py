@@ -1,0 +1,63 @@
+"""Job arrival processes.
+
+The paper submits jobs continuously: "inter-arrival times follow a Poisson
+distribution while specific jobs are randomly picked from the respective
+traces", with a 30 s (real-time) mean interarrival in the main experiments
+(Section 6.1, Appendix A.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import JobDAG
+
+#: The paper's default mean interarrival time, in simulated seconds.
+DEFAULT_MEAN_INTERARRIVAL_S = 30.0
+
+
+@dataclass(frozen=True)
+class JobSubmission:
+    """A job plus the time it enters the system."""
+
+    arrival_time: float
+    dag: JobDAG
+    job_id: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+
+
+def poisson_arrival_times(
+    num_jobs: int,
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL_S,
+    seed: int | None = 0,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Arrival times of a Poisson process (exponential interarrivals)."""
+    if num_jobs <= 0:
+        raise ValueError("num_jobs must be positive")
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_interarrival, size=num_jobs)
+    return start + np.cumsum(gaps)
+
+
+def submissions_from_dags(
+    dags: list[JobDAG],
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL_S,
+    seed: int | None = 0,
+    start: float = 0.0,
+) -> list[JobSubmission]:
+    """Pair a list of DAGs with Poisson arrival times, in arrival order."""
+    times = poisson_arrival_times(
+        len(dags), mean_interarrival=mean_interarrival, seed=seed, start=start
+    )
+    return [
+        JobSubmission(arrival_time=float(t), dag=dag, job_id=i)
+        for i, (t, dag) in enumerate(zip(times, dags))
+    ]

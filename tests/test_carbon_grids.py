@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic grid models (Table 1 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.grids import (
+    GRID_CODES,
+    GRID_SPECS,
+    GridSpec,
+    all_grid_traces,
+    synthesize_trace,
+)
+
+
+class TestSpecs:
+    def test_all_six_paper_grids_present(self):
+        assert set(GRID_CODES) == {"PJM", "CAISO", "ON", "DE", "ZA", "NSW"}
+
+    def test_paper_table1_values(self):
+        de = GRID_SPECS["DE"]
+        assert (de.minimum, de.maximum, de.mean) == (130.0, 765.0, 440.0)
+        assert de.coeff_var == 0.280
+
+    def test_std_derived_from_cov(self):
+        spec = GRID_SPECS["CAISO"]
+        assert spec.std == pytest.approx(spec.mean * spec.coeff_var)
+
+
+@pytest.mark.parametrize("code", GRID_CODES)
+class TestCalibration:
+    HOURS = 8760  # one year is enough to check the marginals
+
+    def test_bounds_respected(self, code):
+        trace = synthesize_trace(code, hours=self.HOURS, seed=0)
+        spec = GRID_SPECS[code]
+        assert trace.values.min() >= spec.minimum - 1e-9
+        assert trace.values.max() <= spec.maximum + 1e-9
+
+    def test_mean_close_to_table1(self, code):
+        trace = synthesize_trace(code, hours=self.HOURS, seed=0)
+        spec = GRID_SPECS[code]
+        assert trace.stats().mean == pytest.approx(spec.mean, rel=0.05)
+
+    def test_cov_close_to_table1(self, code):
+        trace = synthesize_trace(code, hours=self.HOURS, seed=0)
+        spec = GRID_SPECS[code]
+        # Clipping makes exact CoV impossible; 25% relative tolerance keeps
+        # the variability *ordering* across grids intact, which is what the
+        # paper's analysis depends on.
+        assert trace.stats().coeff_var == pytest.approx(spec.coeff_var, rel=0.25)
+
+    def test_deterministic_per_seed(self, code):
+        a = synthesize_trace(code, hours=200, seed=42)
+        b = synthesize_trace(code, hours=200, seed=42)
+        assert np.array_equal(a.values, b.values)
+
+    def test_seeds_differ(self, code):
+        a = synthesize_trace(code, hours=200, seed=1)
+        b = synthesize_trace(code, hours=200, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+
+class TestVariabilityOrdering:
+    def test_cov_ordering_matches_paper(self):
+        """ON > CAISO > DE > NSW > PJM > ZA in coefficient of variation."""
+        covs = {
+            code: synthesize_trace(code, hours=8760, seed=0).stats().coeff_var
+            for code in GRID_CODES
+        }
+        order = sorted(covs, key=covs.get, reverse=True)
+        assert order.index("ON") < order.index("DE")
+        assert order.index("CAISO") < order.index("NSW")
+        assert order.index("DE") < order.index("PJM")
+        assert order[-1] == "ZA"
+
+    def test_caiso_has_midday_dip(self):
+        """Solar-heavy CAISO should be cleaner at noon than at midnight."""
+        trace = synthesize_trace("CAISO", hours=8760, seed=0)
+        values = trace.values
+        hours = np.arange(len(values)) % 24
+        noon = values[(hours >= 11) & (hours <= 15)].mean()
+        night = values[(hours <= 3) | (hours >= 22)].mean()
+        assert noon < night
+
+
+class TestSynthesizeValidation:
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(KeyError):
+            synthesize_trace("XX")
+
+    def test_nonpositive_hours_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_trace("DE", hours=0)
+
+    def test_custom_spec_accepted(self):
+        spec = GridSpec(
+            code="TEST", description="", minimum=10, maximum=20, mean=15,
+            coeff_var=0.1, solar_weight=1, wind_weight=0, seasonal_weight=0,
+            noise_weight=0,
+        )
+        trace = synthesize_trace(spec, hours=100, seed=0)
+        assert len(trace) == 100
+        assert trace.name == "TEST"
+
+    def test_all_grid_traces_returns_all(self):
+        traces = all_grid_traces(hours=50, seed=0)
+        assert set(traces) == set(GRID_CODES)
+        assert all(len(t) == 50 for t in traces.values())
+
+    def test_trace_name_matches_grid(self):
+        assert synthesize_trace("DE", hours=10).name == "DE"

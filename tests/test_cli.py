@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_parses_schedulers(self):
+        args = build_parser().parse_args(
+            ["run", "fifo", "pcaps", "--grid", "CAISO", "--jobs", "3"]
+        )
+        assert args.schedulers == ["fifo", "pcaps"]
+        assert args.grid == "CAISO"
+
+    def test_sweep_requires_knob(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fifo", "--grid", "MARS"])
+
+
+class TestCommands:
+    def test_grids(self, capsys):
+        assert main(["grids"]) == 0
+        out = capsys.readouterr().out
+        assert "CAISO" in out and "coal" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--hours", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-mean" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--gamma", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "T-OPT" in out and "C-OPT" in out
+
+    def test_run_small_matchup(self, capsys):
+        code = main(
+            [
+                "run", "fifo", "pcaps",
+                "--jobs", "3", "--executors", "4", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pcaps" in out and "carbon_red%" in out
+
+    def test_run_unknown_scheduler(self, capsys):
+        assert main(["run", "not-a-scheduler", "--jobs", "2"]) == 2
+
+    def test_run_adds_baseline_if_missing(self, capsys):
+        code = main(
+            [
+                "run", "pcaps", "--baseline", "decima",
+                "--jobs", "3", "--executors", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decima" in out
+
+    def test_sweep_gamma(self, capsys):
+        code = main(
+            [
+                "sweep", "gamma", "--values", "0.2", "0.8",
+                "--jobs", "3", "--executors", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.20" in out and "0.80" in out
+
+    def test_sweep_b(self, capsys):
+        code = main(
+            [
+                "sweep", "B", "--values", "2", "4",
+                "--jobs", "3", "--executors", "4", "--baseline", "fifo",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2.00" in out

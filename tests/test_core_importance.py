@@ -1,0 +1,45 @@
+"""Unit tests for relative importance (Definition 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import relative_importance
+
+
+class TestRelativeImportance:
+    def test_singleton_is_one(self):
+        """|A_t| = 1 implies importance 1 (Definition 4.2)."""
+        assert relative_importance([0.2]) == pytest.approx([1.0])
+
+    def test_max_entry_is_one(self):
+        r = relative_importance([0.1, 0.6, 0.3])
+        assert r.max() == pytest.approx(1.0)
+        assert r[1] == pytest.approx(1.0)
+
+    def test_ratios_preserved(self):
+        r = relative_importance([0.2, 0.4])
+        assert r[0] == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        a = relative_importance([1.0, 2.0, 3.0])
+        b = relative_importance([10.0, 20.0, 30.0])
+        assert np.allclose(a, b)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(50)
+        r = relative_importance(probs)
+        assert np.all((0 <= r) & (r <= 1))
+
+    def test_all_zero_degenerates_to_ones(self):
+        assert np.all(relative_importance([0.0, 0.0]) == 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_importance([])
+        with pytest.raises(ValueError):
+            relative_importance([-0.1, 0.5])
+        with pytest.raises(ValueError):
+            relative_importance([np.nan, 0.5])
+        with pytest.raises(ValueError):
+            relative_importance(np.ones((2, 2)))

@@ -1,0 +1,131 @@
+"""Unit tests for the DAG job model."""
+
+import pytest
+
+from repro.dag.graph import JobDAG, Stage, chain_dag, diamond_dag, fork_join_dag
+
+
+class TestStage:
+    def test_work(self):
+        stage = Stage(0, 4, 2.5)
+        assert stage.work == 10.0
+
+    def test_duration_with_parallelism_waves(self):
+        stage = Stage(0, 5, 2.0)
+        assert stage.duration_with(1) == 10.0
+        assert stage.duration_with(2) == 6.0  # ceil(5/2)=3 waves
+        assert stage.duration_with(5) == 2.0
+        assert stage.duration_with(10) == 2.0
+
+    def test_duration_rejects_nonpositive_parallelism(self):
+        with pytest.raises(ValueError):
+            Stage(0, 1, 1.0).duration_with(0)
+
+    def test_rejects_bad_task_count(self):
+        with pytest.raises(ValueError):
+            Stage(0, 0, 1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            Stage(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            Stage(0, 1, float("inf"))
+
+    def test_rejects_self_dependency(self):
+        with pytest.raises(ValueError):
+            Stage(3, 1, 1.0, parents=(3,))
+
+
+class TestJobDAGConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            JobDAG([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            JobDAG([Stage(0, 1, 1.0), Stage(0, 1, 1.0)])
+
+    def test_rejects_missing_parent(self):
+        with pytest.raises(ValueError):
+            JobDAG([Stage(0, 1, 1.0, parents=(7,))])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            JobDAG(
+                [
+                    Stage(0, 1, 1.0, parents=(1,)),
+                    Stage(1, 1, 1.0, parents=(0,)),
+                ]
+            )
+
+    def test_contains_and_len(self):
+        dag = chain_dag([1.0, 2.0])
+        assert len(dag) == 2
+        assert 0 in dag and 1 in dag and 5 not in dag
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self):
+        dag = diamond_dag()
+        order = dag.topological_order()
+        assert order.index(0) < order.index(1)
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(3)
+        assert order.index(2) < order.index(3)
+
+    def test_roots_and_leaves(self):
+        dag = diamond_dag()
+        assert dag.roots() == (0,)
+        assert dag.leaves() == (3,)
+
+    def test_children(self):
+        dag = diamond_dag()
+        assert dag.children(0) == (1, 2)
+        assert dag.children(3) == ()
+
+    def test_parents(self):
+        dag = diamond_dag()
+        assert dag.parents(3) == (1, 2)
+
+    def test_total_work(self):
+        dag = diamond_dag(top=1.0, left=2.0, right=3.0, bottom=4.0, num_tasks=2)
+        assert dag.total_work == 2 * (1 + 2 + 3 + 4)
+
+
+class TestReadyAfter:
+    def test_initially_roots_only(self):
+        dag = diamond_dag()
+        assert dag.ready_after(frozenset()) == (0,)
+
+    def test_partial_completion(self):
+        dag = diamond_dag()
+        assert set(dag.ready_after({0})) == {1, 2}
+        assert set(dag.ready_after({0, 1})) == {2}
+        assert set(dag.ready_after({0, 1, 2})) == {3}
+
+    def test_all_complete(self):
+        dag = diamond_dag()
+        assert dag.ready_after({0, 1, 2, 3}) == ()
+
+
+class TestFactories:
+    def test_chain(self):
+        dag = chain_dag([1.0, 2.0, 3.0])
+        assert len(dag) == 3
+        assert dag.stage(1).parents == (0,)
+        assert dag.stage(2).parents == (1,)
+
+    def test_fork_join(self):
+        dag = fork_join_dag([1.0, 2.0, 3.0])
+        assert len(dag) == 5
+        assert dag.roots() == (0,)
+        assert dag.leaves() == (4,)
+        assert dag.stage(4).parents == (1, 2, 3)
+
+    def test_fork_join_rejects_no_branches(self):
+        with pytest.raises(ValueError):
+            fork_join_dag([])
+
+    def test_diamond_names(self):
+        dag = diamond_dag(name="d")
+        assert dag.name == "d"

@@ -1,0 +1,133 @@
+"""Unit tests for scheduler/provisioner interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.api import CarbonReading
+from repro.dag.graph import JobDAG, Stage
+from repro.simulator.interfaces import (
+    ProbabilisticPolicy,
+    StageChoice,
+    StaticProvisioner,
+)
+from repro.simulator.state import ClusterView, JobRuntime, ReadyStage
+
+
+class UniformPolicy(ProbabilisticPolicy):
+    """Equal scores for every ready stage — the simplest Def. 4.1 policy."""
+
+    name = "uniform"
+
+    def scores(self, view, ready):
+        return np.zeros(len(ready))
+
+
+class SkewedPolicy(ProbabilisticPolicy):
+    """Mass concentrated on the highest stage id."""
+
+    name = "skewed"
+
+    def scores(self, view, ready):
+        return np.array([float(r.stage_id) for r in ready])
+
+
+def view_with(stages, busy=0, total=4, launched=None):
+    dag = JobDAG(stages)
+    job = JobRuntime(0, dag, arrival_time=0.0)
+    for sid, count in (launched or {}).items():
+        job.stages[sid].launch(count)
+    return ClusterView(
+        time=0.0,
+        total_executors=total,
+        busy_executors=busy,
+        quota=total,
+        jobs={0: job},
+        carbon=CarbonReading(0.0, 100.0, 50.0, 200.0),
+    )
+
+
+class TestDistribution:
+    def test_uniform_distribution(self):
+        view = view_with([Stage(0, 1, 1.0), Stage(1, 1, 1.0)])
+        policy = UniformPolicy(seed=0)
+        ready = view.ready_stages()
+        probs = policy.distribution(view, ready)
+        assert np.allclose(probs, [0.5, 0.5])
+
+    def test_empty_frontier_empty_distribution(self):
+        view = view_with([Stage(0, 1, 1.0)], launched={0: 1})
+        policy = UniformPolicy(seed=0)
+        assert policy.distribution(view, []).size == 0
+
+    def test_temperature_sharpens(self):
+        view = view_with([Stage(0, 1, 1.0), Stage(1, 1, 1.0)])
+        ready = view.ready_stages()
+        soft = SkewedPolicy(seed=0, temperature=10.0).distribution(view, ready)
+        sharp = SkewedPolicy(seed=0, temperature=0.1).distribution(view, ready)
+        assert sharp.max() > soft.max()
+
+    def test_wrong_score_shape_rejected(self):
+        class Broken(ProbabilisticPolicy):
+            def scores(self, view, ready):
+                return np.zeros(len(ready) + 1)
+
+        view = view_with([Stage(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            Broken(seed=0).distribution(view, view.ready_stages())
+
+
+class TestSampling:
+    def test_select_returns_valid_choice(self):
+        view = view_with([Stage(0, 2, 1.0), Stage(1, 2, 1.0)])
+        choice = UniformPolicy(seed=0).select(view)
+        assert isinstance(choice, StageChoice)
+        assert choice.stage_id in (0, 1)
+
+    def test_select_none_when_nothing_assignable(self):
+        view = view_with([Stage(0, 1, 1.0)], launched={0: 1}, busy=1)
+        assert UniformPolicy(seed=0).select(view) is None
+
+    def test_sample_with_importance_normalizes_over_full_frontier(self):
+        # Stage 1 (saturated) carries most mass; assignable stage 0 must get
+        # importance < 1 relative to it.
+        view = view_with(
+            [Stage(0, 1, 1.0), Stage(1, 1, 1.0)], launched={1: 1}, busy=1
+        )
+        policy = SkewedPolicy(seed=0, temperature=0.2)
+        chosen, importance = policy.sample_with_importance(view)
+        assert chosen.stage_id == 0
+        assert importance < 1.0
+
+    def test_sample_with_importance_singleton_is_one(self):
+        view = view_with([Stage(0, 1, 1.0)])
+        policy = UniformPolicy(seed=0)
+        chosen, importance = policy.sample_with_importance(view)
+        assert chosen.stage_id == 0
+        assert importance == pytest.approx(1.0)
+
+    def test_sample_with_importance_none_when_all_saturated(self):
+        view = view_with([Stage(0, 1, 1.0)], launched={0: 1}, busy=1)
+        assert UniformPolicy(seed=0).sample_with_importance(view) is None
+
+    def test_reset_restores_sampling_sequence(self):
+        view = view_with([Stage(i, 1, 1.0) for i in range(4)])
+        policy = UniformPolicy(seed=5)
+        first = [policy.select(view).stage_id for _ in range(5)]
+        policy.reset()
+        second = [policy.select(view).stage_id for _ in range(5)]
+        assert first == second
+
+
+class TestStaticProvisioner:
+    def test_quota_fixed(self):
+        view = view_with([Stage(0, 1, 1.0)])
+        provisioner = StaticProvisioner(3)
+        assert provisioner.quota(view) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticProvisioner(0)
+
+    def test_default_parallelism_scaling_is_identity(self):
+        view = view_with([Stage(0, 1, 1.0)])
+        assert StaticProvisioner(3).scale_parallelism(7, view) == 7

@@ -1,0 +1,164 @@
+"""Unit tests for runtime state (StageRuntime / JobRuntime / ClusterView)."""
+
+import pytest
+
+from repro.carbon.api import CarbonReading
+from repro.dag.graph import JobDAG, Stage, diamond_dag
+from repro.simulator.state import ClusterView, JobRuntime, StageRuntime
+
+
+def reading(intensity=100.0, low=50.0, high=200.0, time=0.0):
+    return CarbonReading(
+        time=time, intensity=intensity, lower_bound=low, upper_bound=high
+    )
+
+
+def make_view(jobs, busy=0, total=4, quota=None, per_job_cap=None, **kwargs):
+    return ClusterView(
+        time=0.0,
+        total_executors=total,
+        busy_executors=busy,
+        quota=quota if quota is not None else total,
+        jobs={j.job_id: j for j in jobs},
+        carbon=reading(),
+        per_job_cap=per_job_cap,
+        **kwargs,
+    )
+
+
+class TestStageRuntime:
+    def test_launch_and_finish(self):
+        runtime = StageRuntime(Stage(0, 3, 1.0))
+        runtime.launch(2)
+        assert runtime.running == 2
+        assert runtime.unlaunched == 1
+        runtime.finish_one()
+        assert runtime.finished == 1
+        assert not runtime.complete
+
+    def test_complete(self):
+        runtime = StageRuntime(Stage(0, 1, 1.0))
+        runtime.launch(1)
+        runtime.finish_one()
+        assert runtime.complete
+
+    def test_overlaunch_rejected(self):
+        runtime = StageRuntime(Stage(0, 2, 1.0))
+        with pytest.raises(ValueError):
+            runtime.launch(3)
+
+    def test_finish_without_running_rejected(self):
+        runtime = StageRuntime(Stage(0, 1, 1.0))
+        with pytest.raises(RuntimeError):
+            runtime.finish_one()
+
+
+class TestJobRuntime:
+    def test_initial_frontier_is_roots(self):
+        job = JobRuntime(0, diamond_dag(), arrival_time=0.0)
+        assert job.ready_stage_ids() == (0,)
+
+    def test_saturated_stage_leaves_assignable_frontier(self):
+        job = JobRuntime(0, diamond_dag(), arrival_time=0.0)
+        job.stages[0].launch(1)  # diamond stages have 1 task
+        assert job.ready_stage_ids() == ()
+        assert job.ready_stage_ids(include_running=True) == (0,)
+
+    def test_completion_flows_through_dag(self):
+        job = JobRuntime(0, diamond_dag(), arrival_time=0.0)
+        job.stages[0].launch(1)
+        assert not job.record_task_finish(0, now=1.0)
+        assert set(job.ready_stage_ids()) == {1, 2}
+        for sid in (1, 2):
+            job.stages[sid].launch(1)
+            job.record_task_finish(sid, now=2.0)
+        job.stages[3].launch(1)
+        assert job.record_task_finish(3, now=3.0)
+        assert job.done
+        assert job.finish_time == 3.0
+
+    def test_remaining_work_counts_unfinished(self):
+        dag = JobDAG([Stage(0, 2, 5.0)])
+        job = JobRuntime(0, dag, arrival_time=0.0)
+        assert job.remaining_work() == 10.0
+        job.stages[0].launch(2)
+        assert job.remaining_work() == 10.0  # in flight still counts
+        job.record_task_finish(0, now=5.0)
+        assert job.remaining_work() == 5.0
+
+    def test_executors_in_use(self):
+        dag = JobDAG([Stage(0, 3, 1.0)])
+        job = JobRuntime(0, dag, arrival_time=0.0)
+        job.stages[0].launch(2)
+        assert job.executors_in_use == 2
+
+
+class TestClusterView:
+    def test_ready_stages_slots_bounded_by_free(self):
+        job = JobRuntime(0, JobDAG([Stage(0, 10, 1.0)]), arrival_time=0.0)
+        view = make_view([job], busy=1, total=4)
+        (entry,) = view.ready_stages()
+        assert entry.slots == 3
+
+    def test_quota_restricts_slots(self):
+        job = JobRuntime(0, JobDAG([Stage(0, 10, 1.0)]), arrival_time=0.0)
+        view = make_view([job], busy=1, total=4, quota=2)
+        (entry,) = view.ready_stages()
+        assert entry.slots == 1
+
+    def test_per_job_cap_restricts_slots(self):
+        dag = JobDAG([Stage(0, 10, 1.0)])
+        job = JobRuntime(0, dag, arrival_time=0.0)
+        job.stages[0].launch(2)
+        view = make_view([job], busy=2, total=10, per_job_cap=3)
+        (entry,) = view.ready_stages()
+        assert entry.slots == 1
+
+    def test_blocked_stages_hidden(self):
+        job = JobRuntime(0, JobDAG([Stage(0, 5, 1.0)]), arrival_time=0.0)
+        view = make_view([job], blocked=frozenset({(0, 0)}))
+        assert view.ready_stages() == []
+
+    def test_finished_jobs_excluded(self):
+        job = JobRuntime(0, JobDAG([Stage(0, 1, 1.0)]), arrival_time=0.0)
+        job.stages[0].launch(1)
+        job.record_task_finish(0, now=1.0)
+        view = make_view([job])
+        assert view.ready_stages() == []
+        assert view.queued_job_count() == 0
+
+    def test_active_jobs_in_arrival_order(self):
+        j1 = JobRuntime(1, diamond_dag(), arrival_time=5.0)
+        j2 = JobRuntime(2, diamond_dag(), arrival_time=1.0)
+        view = make_view([j1, j2])
+        assert [j.job_id for j in view.active_jobs()] == [2, 1]
+
+    def test_include_saturated_adds_zero_slot_entries(self):
+        dag = JobDAG([Stage(0, 1, 1.0)])
+        job = JobRuntime(0, dag, arrival_time=0.0)
+        job.stages[0].launch(1)
+        view = make_view([job], busy=1)
+        assert view.ready_stages() == []
+        full = view.ready_stages(include_saturated=True)
+        assert len(full) == 1 and full[0].slots == 0
+
+    def test_reserved_free_extends_budget_for_owner_only(self):
+        dag_a = JobDAG([Stage(0, 10, 1.0)])
+        dag_b = JobDAG([Stage(0, 10, 1.0)])
+        job_a = JobRuntime(0, dag_a, arrival_time=0.0)
+        job_b = JobRuntime(1, dag_b, arrival_time=1.0)
+        view = make_view(
+            [job_a, job_b],
+            busy=0,
+            total=6,
+            general_free=2,
+            reserved_free={0: 4},
+        )
+        entries = {e.job_id: e for e in view.ready_stages()}
+        assert entries[0].slots == 6  # 2 general + 4 reserved
+        assert entries[1].slots == 2  # general only
+
+    def test_assignable_executors(self):
+        job = JobRuntime(0, diamond_dag(), arrival_time=0.0)
+        view = make_view([job], busy=3, total=4, quota=3)
+        assert view.assignable_executors == 0

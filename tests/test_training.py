@@ -1,0 +1,78 @@
+"""Tests for the Decima-surrogate training environment."""
+
+import pytest
+
+from repro.schedulers.training import (
+    TrainingConfig,
+    TrainingResult,
+    evaluate_weights,
+    tune_decima_weights,
+)
+from repro.workloads.batch import WorkloadSpec
+
+
+def tiny_config(**kwargs):
+    defaults = dict(
+        num_rounds=2,
+        population=4,
+        num_eval_workloads=1,
+        num_executors=6,
+        workload=WorkloadSpec(family="tpch", num_jobs=3, tpch_scales=(2,)),
+        trace_hours=400,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return TrainingConfig(**defaults)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_config(num_rounds=0)
+        with pytest.raises(ValueError):
+            tiny_config(population=1)
+        with pytest.raises(ValueError):
+            tiny_config(elite_fraction=0.0)
+        with pytest.raises(ValueError):
+            tiny_config(num_eval_workloads=0)
+
+
+class TestEvaluate:
+    def test_returns_positive_jct(self):
+        jct = evaluate_weights((1.0, 1.0, 0.5), tiny_config())
+        assert jct > 0
+
+    def test_deterministic(self):
+        config = tiny_config()
+        a = evaluate_weights((1.0, 1.0, 0.5), config)
+        b = evaluate_weights((1.0, 1.0, 0.5), config)
+        assert a == pytest.approx(b)
+
+    def test_weights_change_outcome(self):
+        config = tiny_config(
+            workload=WorkloadSpec(family="tpch", num_jobs=6, tpch_scales=(2, 10))
+        )
+        srpt_heavy = evaluate_weights((5.0, 0.0, 0.0), config)
+        inverted = evaluate_weights((0.0, 0.0, 5.0), config)
+        assert srpt_heavy != inverted
+
+
+class TestTuning:
+    def test_search_never_regresses(self):
+        result = tune_decima_weights(tiny_config())
+        assert isinstance(result, TrainingResult)
+        # best-so-far history is monotone non-increasing by construction
+        assert all(
+            b <= a + 1e-9 for a, b in zip(result.history, result.history[1:])
+        )
+        assert result.improved
+
+    def test_result_weights_nonnegative(self):
+        result = tune_decima_weights(tiny_config())
+        assert all(w >= 0 for w in result.weights)
+
+    def test_reproducible(self):
+        a = tune_decima_weights(tiny_config())
+        b = tune_decima_weights(tiny_config())
+        assert a.weights == b.weights
+        assert a.history == b.history
