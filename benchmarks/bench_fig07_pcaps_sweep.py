@@ -3,33 +3,27 @@
 Five degrees of carbon awareness relative to the Spark/Kubernetes default,
 DE grid. Carbon savings should grow with γ, steeply near γ -> 1, at the
 expense of longer end-to-end completion time.
+
+Runs through the campaign layer: the ``fig7`` preset fans the six trials
+(five γ settings + the baseline) across a process pool and the sweep points
+are aggregated from the stored records.
 """
 
-from repro.experiments.figures import pcaps_gamma_sweep
-from repro.experiments.runner import ExperimentConfig
-from repro.workloads.batch import WorkloadSpec
+from repro.campaign import CampaignRunner, ResultStore, campaign_presets
+from repro.campaign.reports import sweep_points
 
 from _report import emit, run_once
 
-GAMMAS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+def _run_campaign(store_path):
+    spec = campaign_presets()["fig7"]
+    run = CampaignRunner(ResultStore(store_path)).run(spec)
+    assert not run.failures, [r.error for r in run.failures]
+    return sweep_points(run.records, baseline=spec.baseline, parameter="gamma")
 
 
-def _config():
-    return ExperimentConfig(
-        grid="DE",
-        mode="kubernetes",
-        num_executors=40,
-        per_job_cap=10,
-        workload=WorkloadSpec(family="tpch", num_jobs=25, mean_interarrival=45.0),
-        seed=5,
-    )
-
-
-def test_fig7_pcaps_gamma_sweep_prototype(benchmark):
-    points = run_once(
-        benchmark, pcaps_gamma_sweep, gammas=GAMMAS,
-        baseline="k8s-default", config=_config(),
-    )
+def test_fig7_pcaps_gamma_sweep_prototype(benchmark, tmp_path):
+    points = run_once(benchmark, _run_campaign, tmp_path / "fig7.jsonl")
     lines = [f"{'gamma':>6} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"]
     for p in points:
         lines.append(

@@ -3,33 +3,27 @@
 Five minimum-quota settings relative to the Spark/Kubernetes default, DE
 grid. Lower B = more carbon-aware: more carbon saved, longer ECT, and a
 worse trade-off than PCAPS at matched savings (compare bench_fig07).
+
+Runs through the campaign layer: the ``fig8`` preset fans the six trials
+(five B settings + the baseline) across a process pool and the sweep points
+are aggregated from the stored records.
 """
 
-from repro.experiments.figures import cap_b_sweep
-from repro.experiments.runner import ExperimentConfig
-from repro.workloads.batch import WorkloadSpec
+from repro.campaign import CampaignRunner, ResultStore, campaign_presets
+from repro.campaign.reports import sweep_points
 
 from _report import emit, run_once
 
-QUOTAS = (4, 8, 14, 22, 32)  # of K=40
+
+def _run_campaign(store_path):
+    spec = campaign_presets()["fig8"]
+    run = CampaignRunner(ResultStore(store_path)).run(spec)
+    assert not run.failures, [r.error for r in run.failures]
+    return sweep_points(run.records, baseline=spec.baseline, parameter="cap_min_quota")
 
 
-def _config():
-    return ExperimentConfig(
-        grid="DE",
-        mode="kubernetes",
-        num_executors=40,
-        per_job_cap=10,
-        workload=WorkloadSpec(family="tpch", num_jobs=25, mean_interarrival=45.0),
-        seed=5,
-    )
-
-
-def test_fig8_cap_b_sweep_prototype(benchmark):
-    points = run_once(
-        benchmark, cap_b_sweep, quotas=QUOTAS,
-        underlying="k8s-default", config=_config(),
-    )
+def test_fig8_cap_b_sweep_prototype(benchmark, tmp_path):
+    points = run_once(benchmark, _run_campaign, tmp_path / "fig8.jsonl")
     lines = [f"{'B':>5} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"]
     for p in points:
         lines.append(

@@ -1,3 +1,5 @@
+"""Shim for ``pip install -e .``; all metadata lives in setup.cfg."""
+
 from setuptools import setup
 
 setup()

@@ -18,7 +18,9 @@ The package rebuilds the paper's full evaluation stack in pure Python:
   functions, and the Theorems 4.3-4.6 analysis;
 - :mod:`repro.experiments` — the declarative runner and per-table /
   per-figure producers;
-- :mod:`repro.cli` — ``python -m repro`` command-line access.
+- :mod:`repro.campaign` — parallel experiment campaigns: declarative sweep
+  specs, a process-pool executor, and content-addressed result caching;
+- :mod:`repro.cli` — ``python -m repro`` / ``repro`` command-line access.
 
 Quickstart::
 

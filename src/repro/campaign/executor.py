@@ -1,0 +1,242 @@
+"""Campaign execution: process-pool fan-out with caching and resume.
+
+The runner expands a spec into trials, drops every trial whose key already
+has a successful record in the store (the cache hit path), and fans the rest
+across a :class:`~concurrent.futures.ProcessPoolExecutor`. Each worker runs
+one trial end to end and returns a :class:`TrialRecord`; a crashing trial
+produces an ``error`` record instead of killing the campaign, and error
+records don't count as completed, so a later resume retries them.
+
+Determinism: a trial's results are a pure function of its config — workload
+generation, scheduler randomness, and trace synthesis are all seeded from
+config fields — so neither pool scheduling order nor worker count affects
+any metric. That property (pinned by the test suite) is what makes the
+content-addressed cache sound.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.campaign.cache import CacheStats, trial_key
+from repro.campaign.spec import CampaignSpec, config_from_dict, config_to_dict
+from repro.campaign.store import (
+    STATUS_ERROR,
+    STATUS_OK,
+    ResultStore,
+    TrialRecord,
+    result_metrics,
+)
+from repro.carbon.trace import CarbonTrace
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.simulator.metrics import ExperimentResult
+
+#: ``on_progress(completed, total, line)`` — called once per finished trial
+#: (including the initial batch of cache hits, reported as one step each).
+ProgressCallback = Callable[[int, int, str], None]
+
+
+def execute_trial(
+    config: ExperimentConfig, carbon_trace: CarbonTrace | None = None
+) -> ExperimentResult:
+    """Run one fully-resolved trial. The single funnel every path uses."""
+    return run_experiment(config, carbon_trace=carbon_trace)
+
+
+def trial_label(config: ExperimentConfig) -> str:
+    """Short human-readable trial identity for progress lines."""
+    parts = [config.scheduler, f"grid={config.grid}", f"seed={config.seed}"]
+    if config.trace_start_step:
+        parts.append(f"start={config.trace_start_step}")
+    if config.scheduler == "pcaps":
+        parts.append(f"gamma={config.gamma}")
+    if config.cap_min_quota is not None:
+        parts.append(f"B={config.cap_min_quota}")
+    return " ".join(parts)
+
+
+def run_trial_to_record(
+    key: str, campaign: str, config: ExperimentConfig
+) -> TrialRecord:
+    """Execute one trial, capturing failure as an ``error`` record."""
+    start = time.perf_counter()
+    try:
+        result = execute_trial(config)
+        return TrialRecord(
+            key=key,
+            campaign=campaign,
+            config=config_to_dict(config),
+            status=STATUS_OK,
+            metrics=result_metrics(result),
+            duration_s=time.perf_counter() - start,
+        )
+    except Exception as exc:  # failure isolation: one trial, one record
+        return TrialRecord(
+            key=key,
+            campaign=campaign,
+            config=config_to_dict(config),
+            status=STATUS_ERROR,
+            error="".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip(),
+            duration_s=time.perf_counter() - start,
+        )
+
+
+def _pool_worker(payload: tuple[str, str, dict]) -> TrialRecord:
+    """Top-level (picklable) worker: rebuild the config, run, summarize."""
+    key, campaign, config_dict = payload
+    return run_trial_to_record(key, campaign, config_from_dict(config_dict))
+
+
+@dataclass
+class CampaignRun:
+    """Everything a finished :meth:`CampaignRunner.run` hands back."""
+
+    spec: CampaignSpec
+    records: list[TrialRecord]
+    stats: CacheStats = field(default_factory=CacheStats)
+    wall_time_s: float = 0.0
+
+    @property
+    def failures(self) -> list[TrialRecord]:
+        return [r for r in self.records if not r.ok]
+
+    @property
+    def ok_records(self) -> list[TrialRecord]:
+        return [r for r in self.records if r.ok]
+
+
+class CampaignRunner:
+    """Runs campaigns against one store, with a process pool and caching.
+
+    Parameters
+    ----------
+    store:
+        Result store consulted for cache hits and appended to as trials
+        finish.
+    workers:
+        Pool size. ``None`` uses the CPU count; ``0``/``1`` runs trials
+        inline in this process (no pool — useful for tests and tiny runs).
+    code_version:
+        Folded into every trial key; defaults to ``repro.__version__``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int | None = None,
+        code_version: str | None = None,
+    ) -> None:
+        self.store = store
+        self.workers = workers
+        self.code_version = code_version
+
+    # ------------------------------------------------------------------
+    def keyed_trials(
+        self, spec: CampaignSpec
+    ) -> list[tuple[str, ExperimentConfig]]:
+        """(key, config) per trial, deduplicated, in campaign order."""
+        seen: dict[str, ExperimentConfig] = {}
+        for config in spec.trials():
+            seen.setdefault(trial_key(config, self.code_version), config)
+        return list(seen.items())
+
+    def collect(self, spec: CampaignSpec) -> list[TrialRecord]:
+        """The spec's stored records only — no execution (``report``)."""
+        return self.store.select([key for key, _ in self.keyed_trials(spec)])
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        resume: bool = True,
+        on_progress: ProgressCallback | None = None,
+    ) -> CampaignRun:
+        """Execute every trial not already in the store."""
+        started = time.perf_counter()
+        keyed = self.keyed_trials(spec)
+        completed = self.store.completed() if resume else {}
+
+        records: dict[str, TrialRecord] = {}
+        pending: list[tuple[str, ExperimentConfig]] = []
+        for key, config in keyed:
+            if key in completed:
+                records[key] = completed[key]
+            else:
+                pending.append((key, config))
+        stats = CacheStats(hits=len(records), misses=len(pending))
+
+        total = len(keyed)
+        done = 0
+        for key in records:
+            done += 1
+            if on_progress is not None:
+                on_progress(
+                    done,
+                    total,
+                    f"cached {trial_label(config_from_dict(records[key].config))}",
+                )
+
+        def finish(record: TrialRecord) -> None:
+            nonlocal done
+            self.store.append(record)
+            records[record.key] = record
+            done += 1
+            if on_progress is not None:
+                verb = "ok   " if record.ok else "FAIL "
+                label = trial_label(config_from_dict(record.config))
+                on_progress(done, total, f"{verb}{label} ({record.duration_s:.2f}s)")
+
+        workers = self._effective_workers(len(pending))
+        if workers <= 1:
+            for key, config in pending:
+                finish(run_trial_to_record(key, spec.name, config))
+        elif pending:
+            payloads = [
+                (key, spec.name, config_to_dict(config)) for key, config in pending
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_pool_worker, p) for p in payloads]
+                for future in as_completed(futures):
+                    finish(future.result())
+
+        ordered = [records[key] for key, _ in keyed if key in records]
+        return CampaignRun(
+            spec=spec,
+            records=ordered,
+            stats=stats,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    def _effective_workers(self, pending: int) -> int:
+        if self.workers is not None:
+            return max(0, self.workers)
+        return min(os.cpu_count() or 1, max(pending, 1))
+
+
+def run_matchup_trials(
+    scheduler_names: Iterable[str],
+    config: ExperimentConfig,
+    carbon_trace: CarbonTrace | None = None,
+) -> dict[str, ExperimentResult]:
+    """In-process matchup through the campaign layer, full results returned.
+
+    Backs :func:`repro.experiments.runner.run_matchup`: expands a
+    :func:`~repro.campaign.spec.matchup_spec` and runs every trial inline,
+    sharing one carbon trace object so all schedulers see the identical
+    slice without re-synthesis.
+    """
+    from repro.campaign.spec import matchup_spec
+    from repro.experiments.runner import carbon_trace_for
+
+    trace = carbon_trace if carbon_trace is not None else carbon_trace_for(config)
+    spec = matchup_spec(scheduler_names, config)
+    return {
+        trial.scheduler: execute_trial(trial, carbon_trace=trace)
+        for trial in spec.trials()
+    }

@@ -1,0 +1,251 @@
+"""Aggregation and table rendering over stored campaign records.
+
+Reports work from :class:`~repro.campaign.store.TrialRecord` summaries
+alone — no simulation re-runs. Records are grouped into *cells* (unique
+combinations of every config field except the replicate fields ``seed`` and
+``trace_start_step``); replicates within a cell are aggregated as
+mean/median/p95, following the paper's "averaged over repeated trials at
+random trace start times" methodology.
+
+When a baseline scheduler is named, each record is normalized against the
+stored baseline record of the *same replicate* (identical config modulo the
+policy fields) via :func:`~repro.simulator.metrics.compare_to_baseline` —
+the stored summaries expose the same metric attributes as live
+:class:`~repro.simulator.metrics.ExperimentResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.campaign.cache import canonical_json
+from repro.campaign.spec import POLICY_FIELDS, REPLICATE_FIELDS
+from repro.campaign.store import TrialRecord
+from repro.experiments.figures import SweepPoint
+from repro.simulator.metrics import compare_to_baseline
+
+
+def _flatten(config: dict[str, Any], prefix: str = "") -> dict[str, Any]:
+    flat: dict[str, Any] = {}
+    for key, value in config.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=f"{name}."))
+        elif isinstance(value, list):
+            flat[name] = tuple(value)
+        else:
+            flat[name] = value
+    return flat
+
+
+def _subset_id(flat: dict[str, Any], exclude: Sequence[str]) -> str:
+    kept = {k: v for k, v in flat.items() if k not in exclude}
+    return canonical_json({k: list(v) if isinstance(v, tuple) else v
+                           for k, v in kept.items()})
+
+
+def _sort_token(value: Any) -> tuple:
+    if isinstance(value, bool) or value is None:
+        return (2, str(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """One metric summarized across a cell's replicates."""
+
+    mean: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "MetricStats":
+        arr = np.asarray(list(values), dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+        )
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One aggregated cell of a campaign report."""
+
+    label: str
+    scheduler: str
+    n: int  # replicates aggregated
+    carbon: MetricStats  # reduction % if normalized, else absolute footprint
+    ect: MetricStats  # ratio if normalized, else seconds
+    jct: MetricStats
+    normalized: bool
+
+
+def campaign_report(
+    records: Sequence[TrialRecord], baseline: str | None = None
+) -> list[ReportRow]:
+    """Aggregate stored records into deterministic, sorted table rows.
+
+    Row order depends only on cell contents (numeric-aware sort over the
+    varying config fields), never on completion order — so ``campaign run``
+    and a later ``campaign report`` from the store render identical tables.
+    """
+    ok = [r for r in records if r.ok]
+    if not ok:
+        return []
+    flats = {r.key: _flatten(r.config) for r in ok}
+
+    # Fields that actually vary across trials (minus replicate fields) name
+    # the cells and build the row labels.
+    varying: list[str] = []
+    for field_name in flats[ok[0].key]:
+        if field_name in REPLICATE_FIELDS:
+            continue
+        if len({repr(flat.get(field_name)) for flat in flats.values()}) > 1:
+            varying.append(field_name)
+
+    base_by_replicate: dict[str, TrialRecord] = {}
+    if baseline is not None:
+        for record in ok:
+            if record.scheduler_name == baseline:
+                base_by_replicate[
+                    _subset_id(flats[record.key], POLICY_FIELDS)
+                ] = record
+
+    cells: dict[str, list[TrialRecord]] = {}
+    for record in ok:
+        cells.setdefault(_subset_id(flats[record.key], REPLICATE_FIELDS), []).append(
+            record
+        )
+
+    rows = []
+    for members in cells.values():
+        flat = flats[members[0].key]
+        label_parts = []
+        for field_name in varying:
+            value = flat.get(field_name)
+            short = field_name.removeprefix("workload.")
+            label_parts.append(f"{short}={value}" if short != "scheduler" else str(value))
+        label = " ".join(label_parts) or members[0].scheduler_name
+
+        if baseline is not None:
+            normalized = []
+            for record in members:
+                partner = base_by_replicate.get(
+                    _subset_id(flats[record.key], POLICY_FIELDS)
+                )
+                if partner is not None:
+                    normalized.append(compare_to_baseline(record, partner))
+            if not normalized:
+                continue  # no stored baseline replicate to compare against
+            rows.append(
+                (
+                    tuple(_sort_token(flat.get(f)) for f in varying),
+                    ReportRow(
+                        label=label,
+                        scheduler=members[0].scheduler_name,
+                        n=len(normalized),
+                        carbon=MetricStats.of(
+                            m.carbon_reduction_pct for m in normalized
+                        ),
+                        ect=MetricStats.of(m.ect_ratio for m in normalized),
+                        jct=MetricStats.of(m.jct_ratio for m in normalized),
+                        normalized=True,
+                    ),
+                )
+            )
+        else:
+            rows.append(
+                (
+                    tuple(_sort_token(flat.get(f)) for f in varying),
+                    ReportRow(
+                        label=label,
+                        scheduler=members[0].scheduler_name,
+                        n=len(members),
+                        carbon=MetricStats.of(r.carbon_footprint for r in members),
+                        ect=MetricStats.of(r.ect for r in members),
+                        jct=MetricStats.of(r.avg_jct for r in members),
+                        normalized=False,
+                    ),
+                )
+            )
+    rows.sort(key=lambda pair: pair[0])
+    return [row for _, row in rows]
+
+
+def format_campaign_report(
+    rows: Sequence[ReportRow], title: str | None = None
+) -> str:
+    """Fixed-width rendering of :func:`campaign_report` rows."""
+    if not rows:
+        return "(no completed trials in store)"
+    normalized = rows[0].normalized
+    lines = []
+    if title:
+        lines.append(title)
+    if normalized:
+        lines.append(
+            f"{'cell':<38} {'n':>3} {'carbon_red%':>12} {'ECT':>7} {'JCT':>7}"
+            f"   {'p50/p95 carbon_red%':>20}"
+        )
+        for row in rows:
+            lines.append(
+                f"{row.label:<38} {row.n:>3} {row.carbon.mean:>11.1f}% "
+                f"{row.ect.mean:>7.3f} {row.jct.mean:>7.3f}   "
+                f"{row.carbon.p50:>9.1f}/{row.carbon.p95:<9.1f}"
+            )
+    else:
+        lines.append(
+            f"{'cell':<38} {'n':>3} {'carbon':>12} {'ECT_s':>9} {'JCT_s':>9}"
+        )
+        for row in rows:
+            lines.append(
+                f"{row.label:<38} {row.n:>3} {row.carbon.mean:>12.0f} "
+                f"{row.ect.mean:>9.1f} {row.jct.mean:>9.1f}"
+            )
+    return "\n".join(lines)
+
+
+def sweep_points(
+    records: Sequence[TrialRecord], baseline: str, parameter: str
+) -> list[SweepPoint]:
+    """Normalized metrics per sweep-knob value, sorted by the knob.
+
+    ``parameter`` is a (possibly dotted) config field, e.g. ``gamma`` or
+    ``cap_min_quota``. Replicates at the same knob value are averaged.
+    """
+    ok = [r for r in records if r.ok]
+    flats = {r.key: _flatten(r.config) for r in ok}
+    base_by_replicate = {
+        _subset_id(flats[r.key], POLICY_FIELDS): r
+        for r in ok
+        if r.scheduler_name == baseline
+    }
+    grouped: dict[float, list] = {}
+    for record in ok:
+        if record.scheduler_name == baseline:
+            continue
+        partner = base_by_replicate.get(_subset_id(flats[record.key], POLICY_FIELDS))
+        if partner is None:
+            continue
+        value = float(flats[record.key][parameter])
+        grouped.setdefault(value, []).append(compare_to_baseline(record, partner))
+    points = []
+    for value in sorted(grouped):
+        metrics = grouped[value]
+        points.append(
+            SweepPoint(
+                parameter=value,
+                carbon_reduction_pct=float(
+                    np.mean([m.carbon_reduction_pct for m in metrics])
+                ),
+                ect_ratio=float(np.mean([m.ect_ratio for m in metrics])),
+                jct_ratio=float(np.mean([m.jct_ratio for m in metrics])),
+            )
+        )
+    return points

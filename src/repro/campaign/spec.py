@@ -1,0 +1,397 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` is "a base :class:`ExperimentConfig` plus axes":
+each axis names a config field and the values to sweep, and the campaign is
+the cartesian product of all axes applied to the base. Axis names may be
+dotted (``workload.num_jobs``) to sweep nested :class:`WorkloadSpec` fields.
+
+If the spec names a ``baseline`` scheduler that no product trial covers, one
+baseline trial is prepended per replicate combination (every axis except the
+scheduler-policy fields), so normalized reports can be computed from the
+result store alone.
+
+:func:`campaign_presets` provides named specs for the paper's Table 2/3 and
+Fig. 7–19 campaigns at laptop scale (Fig. 15 is a timeline comparison, not a
+sweep, and has no campaign preset).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping
+
+from repro.carbon.grids import GRID_CODES
+from repro.experiments.runner import ExperimentConfig
+from repro.workloads.alibaba import AlibabaWorkloadModel
+from repro.workloads.batch import WorkloadSpec
+
+#: Config fields that define *which policy* runs rather than *what it runs
+#: on*. Two trials that differ only in these fields share a replicate (same
+#: workload, grid, and trace slice), which is what makes their normalized
+#: comparison meaningful.
+POLICY_FIELDS: tuple[str, ...] = ("scheduler", "gamma", "cap_min_quota", "gh_theta")
+
+#: Config fields that vary replicates of the same cell (averaged over in
+#: reports rather than broken out as table rows).
+REPLICATE_FIELDS: tuple[str, ...] = ("seed", "trace_start_step")
+
+Axes = Mapping[str, Iterable[Any]] | Iterable[tuple[str, Iterable[Any]]]
+
+
+def apply_axis_value(
+    config: ExperimentConfig, field_name: str, value: Any
+) -> ExperimentConfig:
+    """Return ``config`` with one (possibly dotted) field replaced."""
+    if field_name.startswith("workload."):
+        sub = field_name.split(".", 1)[1]
+        return replace(config, workload=replace(config.workload, **{sub: value}))
+    return replace(config, **{field_name: value})
+
+
+def config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    """Serialize a config (and its nested workload) to plain JSON types."""
+    raw = dataclasses.asdict(config)
+
+    def _plain(obj: Any) -> Any:
+        if isinstance(obj, dict):
+            return {k: _plain(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_plain(v) for v in obj]
+        return obj
+
+    return _plain(raw)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict`."""
+    params = dict(data)
+    workload = dict(params.get("workload", {}))
+    if isinstance(workload.get("alibaba_model"), Mapping):
+        workload["alibaba_model"] = AlibabaWorkloadModel(**workload["alibaba_model"])
+    if "tpch_scales" in workload:
+        workload["tpch_scales"] = tuple(workload["tpch_scales"])
+    params["workload"] = WorkloadSpec(**workload)
+    return ExperimentConfig(**params)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named cartesian sweep over experiment-config fields.
+
+    Parameters
+    ----------
+    name:
+        Campaign identifier (used in store records and the CLI).
+    base:
+        The config every trial starts from.
+    axes:
+        Mapping (or ordered pairs) of field name -> values to sweep. Dotted
+        ``workload.*`` names reach into the nested :class:`WorkloadSpec`.
+    baseline:
+        Scheduler every report row is normalized against. If none of the
+        product trials run it, baseline trials are added per replicate.
+    description:
+        One line shown by ``repro campaign list``.
+    """
+
+    name: str
+    base: ExperimentConfig
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    baseline: str | None = None
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        base: ExperimentConfig,
+        axes: Axes,
+        baseline: str | None = None,
+        description: str = "",
+    ) -> None:
+        pairs = axes.items() if isinstance(axes, Mapping) else axes
+        normalized = tuple((str(k), tuple(v)) for k, v in pairs)
+        for field_name, values in normalized:
+            if not values:
+                raise ValueError(f"axis {field_name!r} has no values")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "axes", normalized)
+        object.__setattr__(self, "baseline", baseline)
+        object.__setattr__(self, "description", description)
+
+    # ------------------------------------------------------------------
+    def num_trials(self) -> int:
+        return len(self.trials())
+
+    def axis_summary(self) -> str:
+        """``scheduler×4 · grid×2 · seed×3`` — for listings and banners."""
+        return " · ".join(f"{name}×{len(values)}" for name, values in self.axes)
+
+    def trials(self) -> list[ExperimentConfig]:
+        """Expand the spec into concrete, deduplicated trial configs.
+
+        Baseline trials (when needed) come first so a campaign's progress
+        stream starts with the rows everything else is normalized against.
+        """
+        product_trials = []
+        names = [name for name, _ in self.axes]
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            config = self.base
+            for field_name, value in zip(names, combo):
+                config = apply_axis_value(config, field_name, value)
+            product_trials.append(config)
+
+        configs: list[ExperimentConfig] = []
+        if self.baseline is not None and not any(
+            c.scheduler == self.baseline for c in product_trials
+        ):
+            replicate_axes = [
+                (name, values)
+                for name, values in self.axes
+                if name not in POLICY_FIELDS
+            ]
+            rep_names = [name for name, _ in replicate_axes]
+            for combo in itertools.product(
+                *(values for _, values in replicate_axes)
+            ):
+                config = self.base
+                for field_name, value in zip(rep_names, combo):
+                    config = apply_axis_value(config, field_name, value)
+                configs.append(replace(config, scheduler=self.baseline))
+        configs.extend(product_trials)
+        return list(dict.fromkeys(configs))
+
+    def scaled(
+        self, num_jobs: int | None = None, num_executors: int | None = None
+    ) -> "CampaignSpec":
+        """A copy with the base workload/cluster resized (CLI overrides)."""
+        base = self.base
+        if num_jobs is not None:
+            base = replace(base, workload=replace(base.workload, num_jobs=num_jobs))
+        if num_executors is not None:
+            base = replace(
+                base,
+                num_executors=num_executors,
+                per_job_cap=max(2, num_executors // 4),
+            )
+        return CampaignSpec(
+            name=self.name,
+            base=base,
+            axes=self.axes,
+            baseline=self.baseline,
+            description=self.description,
+        )
+
+
+def matchup_spec(
+    scheduler_names: Iterable[str],
+    config: ExperimentConfig,
+    name: str = "matchup",
+) -> CampaignSpec:
+    """The simplest campaign: several schedulers on one identical setup.
+
+    This is what :func:`repro.experiments.runner.run_matchup` expands to.
+    """
+    return CampaignSpec(
+        name=name,
+        base=config,
+        axes={"scheduler": tuple(scheduler_names)},
+        description="one workload, several schedulers",
+    )
+
+
+# ----------------------------------------------------------------------
+# Named presets for the paper's campaigns (laptop scale)
+# ----------------------------------------------------------------------
+def campaign_presets() -> dict[str, CampaignSpec]:
+    """Named campaign specs mirroring the paper's tables and sweeps."""
+    def tpch(jobs: int, ia: float = 30.0, scales=(2, 10, 50)) -> WorkloadSpec:
+        return WorkloadSpec(
+            family="tpch", num_jobs=jobs, mean_interarrival=ia, tpch_scales=scales
+        )
+    prototype = ExperimentConfig(
+        mode="kubernetes",
+        num_executors=40,
+        per_job_cap=10,
+        workload=tpch(25, ia=45.0),
+        seed=5,
+    )
+    simulator = ExperimentConfig(
+        mode="standalone", num_executors=25, workload=tpch(20), seed=5
+    )
+    offsets = (0, 977, 1954)  # "uniformly random start times", fixed for replay
+    gammas = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+    specs = [
+        CampaignSpec(
+            "smoke",
+            ExperimentConfig(
+                num_executors=4, workload=tpch(3, ia=5.0, scales=(2,))
+            ),
+            axes={"scheduler": ("fifo", "pcaps"), "seed": (0, 1)},
+            baseline="fifo",
+            description="4-trial sanity campaign (tests, CI)",
+        ),
+        CampaignSpec(
+            "demo",
+            ExperimentConfig(
+                num_executors=10, workload=tpch(6, ia=20.0, scales=(2, 10))
+            ),
+            axes={
+                "scheduler": ("fifo", "decima", "cap-fifo", "pcaps"),
+                "grid": ("DE", "CAISO"),
+                "seed": (0, 1, 2),
+            },
+            baseline="fifo",
+            description="24-trial showcase: 4 schedulers × 2 grids × 3 seeds",
+        ),
+        CampaignSpec(
+            "table2",
+            replace(prototype, seed=0),
+            axes={
+                "scheduler": ("k8s-default", "decima", "cap-k8s-default", "pcaps"),
+                "grid": GRID_CODES,
+                "trace_start_step": offsets,
+            },
+            baseline="k8s-default",
+            description="Table 2: prototype mode, all grids × trace offsets",
+        ),
+        CampaignSpec(
+            "table3",
+            replace(simulator, num_executors=40, workload=tpch(25, ia=45.0), seed=0),
+            axes={
+                "scheduler": (
+                    "fifo",
+                    "weighted-fair",
+                    "decima",
+                    "greenhadoop",
+                    "cap-fifo",
+                    "cap-weighted-fair",
+                    "cap-decima",
+                    "pcaps",
+                ),
+                "grid": GRID_CODES,
+                "trace_start_step": offsets,
+            },
+            baseline="fifo",
+            description="Table 3: simulator mode, all grids × trace offsets",
+        ),
+        CampaignSpec(
+            "fig7",
+            prototype,
+            axes={"scheduler": ("pcaps",), "gamma": gammas},
+            baseline="k8s-default",
+            description="Fig. 7: PCAPS γ sweep, prototype mode, DE",
+        ),
+        CampaignSpec(
+            "fig8",
+            prototype,
+            axes={
+                "scheduler": ("cap-k8s-default",),
+                "cap_min_quota": (4, 8, 14, 22, 32),
+            },
+            baseline="k8s-default",
+            description="Fig. 8: CAP B sweep, prototype mode, DE",
+        ),
+        CampaignSpec(
+            "fig9",
+            ExperimentConfig(
+                mode="kubernetes",
+                num_executors=24,
+                per_job_cap=6,
+                workload=tpch(15),
+            ),
+            axes={
+                "scheduler": ("pcaps", "cap-k8s-default"),
+                "seed": tuple(range(8)),
+            },
+            baseline="k8s-default",
+            description="Fig. 9: per-job trials, 8 seed replicates",
+        ),
+        CampaignSpec(
+            "fig10",
+            ExperimentConfig(
+                mode="kubernetes",
+                num_executors=25,
+                per_job_cap=6,
+                workload=tpch(15),
+                seed=2,
+            ),
+            axes={
+                "scheduler": ("decima", "cap-k8s-default", "pcaps"),
+                "grid": GRID_CODES,
+            },
+            baseline="k8s-default",
+            description="Fig. 10: per-grid behaviour, prototype mode",
+        ),
+        CampaignSpec(
+            "fig11",
+            simulator,
+            axes={"scheduler": ("pcaps",), "gamma": gammas},
+            baseline="fifo",
+            description="Fig. 11: PCAPS γ sweep, simulator mode, DE",
+        ),
+        CampaignSpec(
+            "fig12",
+            simulator,
+            axes={
+                "scheduler": ("cap-fifo",),
+                "cap_min_quota": (2, 5, 8, 12, 16, 20),
+            },
+            baseline="fifo",
+            description="Fig. 12: CAP B sweep, simulator mode, DE",
+        ),
+        CampaignSpec(
+            "fig13-pcaps",
+            replace(simulator, seed=11),
+            axes={
+                "scheduler": ("pcaps",),
+                "gamma": (0.2, 0.4, 0.5, 0.6, 0.8, 0.95),
+            },
+            baseline="decima",
+            description="Fig. 13: PCAPS frontier branch vs Decima",
+        ),
+        CampaignSpec(
+            "fig13-cap",
+            replace(simulator, seed=11),
+            axes={
+                "scheduler": ("cap-decima",),
+                "cap_min_quota": (2, 4, 6, 9, 13, 18),
+            },
+            baseline="decima",
+            description="Fig. 13: CAP-Decima frontier branch vs Decima",
+        ),
+        CampaignSpec(
+            "fig14",
+            replace(simulator, workload=tpch(15), seed=2),
+            axes={
+                "scheduler": ("decima", "cap-fifo", "pcaps"),
+                "grid": GRID_CODES,
+            },
+            baseline="fifo",
+            description="Fig. 14: per-grid behaviour, simulator mode",
+        ),
+        CampaignSpec(
+            "fig16-17",
+            replace(simulator, seed=6),
+            axes={
+                "scheduler": ("decima", "cap-fifo", "pcaps"),
+                "workload.num_jobs": (6, 12, 25, 50),
+            },
+            baseline="fifo",
+            description="Figs. 16/17: metrics vs batch size, DE",
+        ),
+        CampaignSpec(
+            "fig18-19",
+            replace(simulator, seed=6),
+            axes={
+                "scheduler": ("decima", "cap-fifo", "pcaps"),
+                "workload.mean_interarrival": (10.0, 20.0, 30.0, 60.0),
+            },
+            baseline="fifo",
+            description="Figs. 18/19: metrics vs mean interarrival, DE",
+        ),
+    ]
+    return {spec.name: spec for spec in specs}

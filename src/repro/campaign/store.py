@@ -1,0 +1,137 @@
+"""Append-only JSONL result store.
+
+Each completed (or failed) trial is one JSON line holding the trial key, the
+campaign that requested it, the fully-resolved config, and a metric summary
+of the :class:`~repro.simulator.metrics.ExperimentResult`. Appending is the
+only write operation, so a crashed campaign leaves a valid store and
+resuming is just "skip keys that already have an ``ok`` record".
+
+:class:`TrialRecord` deliberately exposes ``scheduler_name``,
+``carbon_footprint``, ``ect`` and ``avg_jct`` with the same meaning as
+:class:`~repro.simulator.metrics.ExperimentResult`, so
+:func:`~repro.simulator.metrics.compare_to_baseline` accepts stored records
+directly — reports never need to re-run a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.simulator.metrics import ExperimentResult
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def result_metrics(result: ExperimentResult) -> dict[str, Any]:
+    """The summary serialized for one successful trial."""
+    return {
+        "carbon_footprint": result.carbon_footprint,
+        "ect": result.ect,
+        "avg_jct": result.avg_jct,
+        "num_jobs": result.num_jobs,
+        "total_busy_time": result.total_busy_time,
+        "utilization": result.utilization(),
+        "scheduler_time_s": result.scheduler_time_s,
+        "scheduler_invocations": result.scheduler_invocations,
+        "avg_scheduler_latency_s": result.avg_scheduler_latency_s,
+    }
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One stored trial: key + config + outcome."""
+
+    key: str
+    campaign: str
+    config: dict[str, Any]
+    status: str
+    metrics: dict[str, Any] | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    # -- ExperimentResult-compatible views (for compare_to_baseline) -----
+    @property
+    def scheduler_name(self) -> str:
+        return self.config["scheduler"]
+
+    @property
+    def carbon_footprint(self) -> float:
+        return self._metric("carbon_footprint")
+
+    @property
+    def ect(self) -> float:
+        return self._metric("ect")
+
+    @property
+    def avg_jct(self) -> float:
+        return self._metric("avg_jct")
+
+    def _metric(self, name: str) -> float:
+        if self.metrics is None:
+            raise ValueError(f"trial {self.key} has no metrics (status={self.status})")
+        return float(self.metrics[name])
+
+    @classmethod
+    def from_json(cls, line: str) -> "TrialRecord":
+        data = json.loads(line)
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`TrialRecord` lines.
+
+    Later records for a key supersede earlier ones (e.g. a failed trial
+    re-run to success), so loading dedupes by key keeping the last line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def append(self, record: TrialRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+
+    def records(self, campaign: str | None = None) -> list[TrialRecord]:
+        """All stored records, deduped by key (last write wins)."""
+        if not self.path.exists():
+            return []
+        by_key: dict[str, TrialRecord] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = TrialRecord.from_json(line)
+                by_key[record.key] = record
+        records = list(by_key.values())
+        if campaign is not None:
+            records = [r for r in records if r.campaign == campaign]
+        return records
+
+    def completed(self) -> dict[str, TrialRecord]:
+        """Successful records by key — the resume/cache lookup table.
+
+        Lookup is content-addressed and deliberately ignores the campaign
+        name: overlapping sweeps share trials.
+        """
+        return {r.key: r for r in self.records() if r.ok}
+
+    def select(self, keys: Iterable[str]) -> list[TrialRecord]:
+        """Stored records for the given trial keys, in the given order."""
+        completed = self.completed()
+        return [completed[k] for k in keys if k in completed]

@@ -6,12 +6,15 @@ Gives downstream users the paper's experiments without writing code:
 - ``repro fig1`` — the motivating example;
 - ``repro run`` — one matchup (schedulers × grid × workload), normalized;
 - ``repro sweep`` — a γ or B sweep on one grid;
-- ``repro grids`` — list the modelled grids and their statistics.
+- ``repro grids`` — list the modelled grids and their statistics;
+- ``repro campaign`` — list/run/resume/report parallel experiment campaigns
+  (process-pool fan-out with content-addressed result caching).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.carbon.grids import GRID_CODES, GRID_SPECS, synthesize_trace
@@ -142,6 +145,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_CAMPAIGN_STORE = "campaign-results.jsonl"
+
+
+def _campaign_spec(args: argparse.Namespace):
+    from repro.campaign import campaign_presets
+
+    presets = campaign_presets()
+    if args.name not in presets:
+        print(f"unknown campaign {args.name!r}; choose from {sorted(presets)}")
+        return None
+    spec = presets[args.name]
+    jobs = getattr(args, "jobs", None)
+    executors = getattr(args, "executors", None)
+    if jobs is not None or executors is not None:
+        spec = spec.scaled(num_jobs=jobs, num_executors=executors)
+    return spec
+
+
+def _print_campaign_report(runner, spec) -> None:
+    from repro.campaign import campaign_report, format_campaign_report
+
+    records = runner.collect(spec)
+    expected = len(runner.keyed_trials(spec))
+    rows = campaign_report(records, baseline=spec.baseline)
+    title = (
+        f"campaign {spec.name!r} — {len(records)}/{expected} trials in store, "
+        f"baseline {spec.baseline or '(absolute metrics)'}"
+    )
+    print(format_campaign_report(rows, title=title))
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_presets
+
+    print(f"{'campaign':<12} {'trials':>6}  {'axes':<42} description")
+    for name, spec in campaign_presets().items():
+        print(
+            f"{name:<12} {len(spec.trials()):>6}  {spec.axis_summary():<42} "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, ResultStore
+
+    spec = _campaign_spec(args)
+    if spec is None:
+        return 2
+    resume = not getattr(args, "no_resume", False)
+    if args.cmd == "resume" and not ResultStore(args.store).path.exists():
+        print(f"nothing to resume: store {args.store!r} does not exist")
+        return 2
+    runner = CampaignRunner(ResultStore(args.store), workers=args.workers)
+    print(
+        f"campaign {spec.name!r}: {len(runner.keyed_trials(spec))} trials "
+        f"({spec.axis_summary()}), store {args.store}"
+    )
+
+    def progress(done: int, total: int, line: str) -> None:
+        if not args.quiet:
+            print(f"[{done:>3}/{total}] {line}")
+
+    run = runner.run(spec, resume=resume, on_progress=progress)
+    stats = run.stats
+    print(
+        f"done in {run.wall_time_s:.1f}s: {stats.misses} simulated, "
+        f"{stats.hits} cached (cache hit rate {stats.hit_rate:.1%}), "
+        f"{len(run.failures)} failed"
+    )
+    for record in run.failures:
+        print(f"  FAILED {record.key}: {record.error}")
+    _print_campaign_report(runner, spec)
+    return 1 if run.failures else 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, ResultStore
+
+    spec = _campaign_spec(args)
+    if spec is None:
+        return 2
+    store = ResultStore(args.store)
+    if not store.path.exists():
+        print(f"store {args.store!r} does not exist; run the campaign first")
+        return 2
+    _print_campaign_report(CampaignRunner(store), spec)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_campaign_list,
+        "run": _cmd_campaign_run,
+        "resume": _cmd_campaign_run,
+        "report": _cmd_campaign_report,
+    }
+    return handlers[args.cmd](args)
+
+
 def _cmd_grids(args: argparse.Namespace) -> int:
     print(f"{'grid':<7} {'description':<55} {'mean':>6} {'cov':>6}")
     for code in GRID_CODES:
@@ -202,12 +305,72 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("grids", help="list the modelled power grids")
     p.set_defaults(func=_cmd_grids)
 
+    p = sub.add_parser(
+        "campaign",
+        help="parallel experiment campaigns with cached, resumable results",
+    )
+    campaign_sub = p.add_subparsers(dest="cmd", required=True)
+
+    c = campaign_sub.add_parser("list", help="list the named campaign presets")
+    c.set_defaults(func=_cmd_campaign)
+
+    def _add_campaign_target(c: argparse.ArgumentParser, with_exec: bool) -> None:
+        c.add_argument("name", help="campaign preset name (see 'campaign list')")
+        c.add_argument(
+            "--store", default=DEFAULT_CAMPAIGN_STORE,
+            help="JSONL result store path",
+        )
+        c.add_argument(
+            "--jobs", type=int, default=None,
+            help="override the base workload's batch size",
+        )
+        c.add_argument(
+            "--executors", type=int, default=None,
+            help="override the base cluster size",
+        )
+        if with_exec:
+            c.add_argument(
+                "--workers", type=int, default=None,
+                help="process-pool size (default: CPU count; 0/1 = inline)",
+            )
+            c.add_argument(
+                "--quiet", action="store_true", help="suppress per-trial lines"
+            )
+
+    c = campaign_sub.add_parser(
+        "run", help="run a campaign (skips trials already in the store)"
+    )
+    _add_campaign_target(c, with_exec=True)
+    c.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every trial even if the store already has it",
+    )
+    c.set_defaults(func=_cmd_campaign)
+
+    c = campaign_sub.add_parser(
+        "resume", help="continue an interrupted campaign from its store"
+    )
+    _add_campaign_target(c, with_exec=True)
+    c.set_defaults(func=_cmd_campaign)
+
+    c = campaign_sub.add_parser(
+        "report", help="aggregate a campaign's table from the store alone"
+    )
+    _add_campaign_target(c, with_exec=False)
+    c.set_defaults(func=_cmd_campaign)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # e.g. `repro campaign run ... | head`: the reader closed the pipe
+        # mid-report. Swallow the noise and let the interpreter exit cleanly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -11,6 +11,7 @@ require identical batches — Appendix A.1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 from repro.carbon.api import CarbonIntensityAPI
 from repro.carbon.grids import synthesize_trace
@@ -127,10 +128,18 @@ def build_scheduler(
     raise ValueError(f"unknown scheduler {name!r}")  # pragma: no cover
 
 
+@lru_cache(maxsize=None)
+def _full_synthetic_trace(grid: str) -> CarbonTrace:
+    """Memoized 3-year trace per grid — slicing it per config is cheap,
+    synthesizing it per trial (e.g. inside campaign workers) is not."""
+    return synthesize_trace(grid, seed=0)
+
+
 def carbon_trace_for(config: ExperimentConfig) -> CarbonTrace:
     """The carbon slice a config names (synthesized deterministically)."""
-    full = synthesize_trace(config.grid, seed=0)
-    return full.slice(config.trace_start_step, config.trace_hours)
+    return _full_synthetic_trace(config.grid).slice(
+        config.trace_start_step, config.trace_hours
+    )
 
 
 def run_experiment(
@@ -169,9 +178,14 @@ def run_matchup(
     The workload seed and trace slice come from ``config``, so every
     scheduler sees the same batch — this is what makes the paper's
     normalized metrics meaningful.
+
+    A matchup is the degenerate one-axis campaign, and since the campaign
+    subsystem exists it runs through that layer
+    (:func:`repro.campaign.executor.run_matchup_trials`): the scheduler list
+    expands via :func:`repro.campaign.spec.matchup_spec` and every trial
+    goes through the same ``execute_trial`` funnel the process-pool workers
+    use. Imported lazily — :mod:`repro.campaign` builds on this module.
     """
-    trace = carbon_trace if carbon_trace is not None else carbon_trace_for(config)
-    return {
-        name: run_experiment(config.with_scheduler(name), carbon_trace=trace)
-        for name in scheduler_names
-    }
+    from repro.campaign.executor import run_matchup_trials
+
+    return run_matchup_trials(scheduler_names, config, carbon_trace=carbon_trace)

@@ -188,6 +188,9 @@ class Simulation:
         self.scheduler.reset()
         if self.provisioner is not None:
             self.provisioner.reset()
+        # Restart the event tie-break counter so a second run() on the same
+        # Simulation replays the identical heap ordering as the first.
+        self._seq = itertools.count()
 
         jobs: dict[int, JobRuntime] = {}
         pool = _ExecutorPool(self.config.num_executors)

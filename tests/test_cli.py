@@ -92,3 +92,48 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "2.00" in out
+
+
+class TestCampaignCommands:
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "table3" in out and "fig18-19" in out
+
+    def test_campaign_unknown_name(self, capsys):
+        assert main(["campaign", "run", "not-a-campaign"]) == 2
+        assert "unknown campaign" in capsys.readouterr().out
+
+    def test_campaign_report_without_store(self, tmp_path, capsys):
+        store = str(tmp_path / "never-written.jsonl")
+        assert main(["campaign", "report", "smoke", "--store", store]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_campaign_resume_without_store(self, tmp_path, capsys):
+        store = str(tmp_path / "never-written.jsonl")
+        assert main(["campaign", "resume", "smoke", "--store", store]) == 2
+        assert "nothing to resume" in capsys.readouterr().out
+
+    def test_campaign_run_rerun_and_report(self, tmp_path, capsys):
+        store = str(tmp_path / "smoke.jsonl")
+        base = ["campaign", "run", "smoke", "--store", store, "--workers", "0"]
+
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert "4 simulated, 0 cached" in first
+        assert "cache hit rate 0.0%" in first
+
+        assert main(base + ["--quiet"]) == 0
+        rerun = capsys.readouterr().out
+        assert "0 simulated, 4 cached" in rerun
+        assert "cache hit rate 100.0%" in rerun
+
+        assert main(["campaign", "report", "smoke", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert "4/4 trials in store" in report
+        # The report from the store alone matches the table the run printed.
+        assert report.strip().splitlines()[-1] in rerun

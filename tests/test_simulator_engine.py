@@ -277,3 +277,26 @@ class TestLatencyMeasurement:
     def test_latency_not_recorded_by_default(self, flat_trace, tiny_dag):
         result = run_sim(FIFOScheduler(), single_job(tiny_dag), flat_trace)
         assert result.scheduler_invocations == 0
+
+
+class TestRepeatedRuns:
+    def test_second_run_replays_identically(self, square_trace):
+        """run() twice on one Simulation gives the identical schedule.
+
+        The event heap breaks timestamp ties with a monotone counter; it is
+        reset at the top of run() so a reused Simulation replays the same
+        tie-break ordering instead of continuing where the first run left
+        the counter.
+        """
+        dags = [diamond_dag(), chain_dag([2.0, 1.0, 3.0]), diamond_dag()]
+        submissions = staggered_jobs(dags, gap=2.0)
+        sim = Simulation(
+            config=ClusterConfig(num_executors=2, executor_move_delay=0.0),
+            scheduler=FIFOScheduler(),
+            carbon_api=CarbonIntensityAPI(square_trace),
+        )
+        first = sim.run(submissions)
+        second = sim.run(submissions)
+        assert first.trace.tasks == second.trace.tasks
+        assert first.finishes == second.finishes
+        assert first.carbon_footprint == second.carbon_footprint
