@@ -8,7 +8,9 @@ Gives downstream users the paper's experiments without writing code:
 - ``repro sweep`` — a γ or B sweep on one grid;
 - ``repro grids`` — list the modelled grids and their statistics;
 - ``repro campaign`` — list/run/resume/report parallel experiment campaigns
-  (process-pool fan-out with content-addressed result caching).
+  (process-pool fan-out with content-addressed result caching);
+- ``repro perf`` — engine throughput benchmark (events/s, tasks/s, select
+  latency), written to ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -245,6 +247,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return handlers[args.cmd](args)
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.experiments.perf import (
+        build_scenarios,
+        format_report,
+        run_scenario,
+        smoke_scenarios,
+        write_report,
+    )
+
+    if args.smoke:
+        scenarios = smoke_scenarios()
+    else:
+        scenarios = build_scenarios(
+            schedulers=tuple(args.schedulers),
+            job_counts=tuple(args.jobs),
+            num_executors=args.executors,
+        )
+    measurements = []
+    for scenario in scenarios:
+        if not args.quiet:
+            print(f"running {scenario.name} ...", flush=True)
+        measurements.append(run_scenario(scenario))
+    print(format_report(measurements))
+    write_report(measurements, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_grids(args: argparse.Namespace) -> int:
     print(f"{'grid':<7} {'description':<55} {'mean':>6} {'cov':>6}")
     for code in GRID_CODES:
@@ -304,6 +334,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("grids", help="list the modelled power grids")
     p.set_defaults(func=_cmd_grids)
+
+    p = sub.add_parser(
+        "perf",
+        help="engine throughput benchmark (events/s, tasks/s, select latency)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI grid instead of the full scheduler sweep",
+    )
+    p.add_argument(
+        "--output", default="BENCH_engine.json",
+        help="where to write the measurement JSON",
+    )
+    p.add_argument(
+        "--schedulers", nargs="+", default=["fifo", "decima", "pcaps"],
+        help="schedulers to time (full mode only)",
+    )
+    p.add_argument(
+        "--jobs", type=int, nargs="+", default=[50, 100, 200],
+        help="batch sizes to time (full mode only)",
+    )
+    p.add_argument("--executors", type=int, default=50)
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
         "campaign",

@@ -81,6 +81,7 @@ class JobDAG:
         self.name = name
         self._children: dict[int, tuple[int, ...]] = self._build_children()
         self._topo_order: tuple[int, ...] = self._toposort()
+        self._topo_index: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -144,6 +145,19 @@ class JobDAG:
 
     def topological_order(self) -> tuple[int, ...]:
         return self._topo_order
+
+    def topological_index(self) -> Mapping[int, int]:
+        """Stage id → position in :meth:`topological_order` (cached).
+
+        The simulator keeps each job's ready frontier sorted by this index;
+        caching the map here shares it across every runtime replica of the
+        same DAG instead of rebuilding a dict per job arrival.
+        """
+        if self._topo_index is None:
+            self._topo_index = {
+                sid: i for i, sid in enumerate(self._topo_order)
+            }
+        return self._topo_index
 
     @property
     def total_work(self) -> float:

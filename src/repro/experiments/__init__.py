@@ -4,8 +4,10 @@
 :class:`~repro.experiments.runner.ExperimentConfig` into an
 :class:`~repro.simulator.metrics.ExperimentResult`;
 :mod:`~repro.experiments.tables` and :mod:`~repro.experiments.figures`
-assemble the normalized rows/series each paper artifact reports; and
-:mod:`~repro.experiments.motivation` holds the Fig. 1 motivating example.
+assemble the normalized rows/series each paper artifact reports;
+:mod:`~repro.experiments.motivation` holds the Fig. 1 motivating example;
+and :mod:`~repro.experiments.perf` times engine throughput across a
+scheduler × job-count grid (``repro perf``, ``BENCH_engine.json``).
 """
 
 from repro.experiments.runner import (
@@ -20,14 +22,30 @@ from repro.experiments.motivation import (
     motivating_dag,
     motivating_trace,
 )
+from repro.experiments.perf import (
+    PerfMeasurement,
+    PerfScenario,
+    build_scenarios,
+    run_scenario,
+    run_suite,
+    smoke_scenarios,
+    write_report,
+)
 
 __all__ = [
     "ExperimentConfig",
+    "PerfMeasurement",
+    "PerfScenario",
     "SCHEDULER_NAMES",
+    "build_scenarios",
     "build_scheduler",
     "fig1_comparison",
     "motivating_dag",
     "motivating_trace",
     "run_experiment",
     "run_matchup",
+    "run_scenario",
+    "run_suite",
+    "smoke_scenarios",
+    "write_report",
 ]

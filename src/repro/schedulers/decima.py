@@ -21,6 +21,12 @@ policy learns:
 
 Scores are combined linearly and softmaxed with a temperature; sampling uses
 a seeded generator, so experiments are reproducible.
+
+Per-job aggregates (remaining work, bottleneck scores) come from the
+memoized :class:`~repro.simulator.state.JobRuntime` accessors, which are
+invalidated only on task finish / stage completion — so repeated ``select``
+calls within one scheduling event reuse them instead of recomputing
+O(stages²) DAG metrics per executor grant.
 """
 
 from __future__ import annotations
@@ -29,7 +35,6 @@ import math
 
 import numpy as np
 
-from repro.dag.metrics import bottleneck_scores
 from repro.simulator.interfaces import ProbabilisticPolicy
 from repro.simulator.state import ClusterView, ReadyStage
 
@@ -69,22 +74,31 @@ class DecimaScheduler(ProbabilisticPolicy):
             for job_id in {r.job_id for r in ready}
         }
         max_remaining = max(remaining.values())
+        # Per-job score terms are hoisted out of the per-entry loop; the
+        # per-entry expression keeps the original operation order, so the
+        # resulting floats (and thus sampling) are unchanged.
+        denominator = max(max_remaining, 1e-9)
+        srpt_term: dict[int, float] = {}
+        locality_term: dict[int, float] = {}
         bottlenecks: dict[int, dict[int, float]] = {}
         for job_id in remaining:
             job = view.job(job_id)
-            bottlenecks[job_id] = bottleneck_scores(
-                job.dag, job.completed_stages
+            srpt_term[job_id] = self.srpt_weight * (
+                1.0 - remaining[job_id] / denominator
             )
+            locality_term[job_id] = self.locality_weight * (
+                1.0 if job.executors_in_use > 0 else 0.0
+            )
+            bottlenecks[job_id] = job.bottleneck_scores()
+        bottleneck_weight = self.bottleneck_weight
         out = np.empty(len(ready))
         for i, r in enumerate(ready):
-            job = view.job(r.job_id)
-            srpt = 1.0 - remaining[r.job_id] / max(max_remaining, 1e-9)
-            bottleneck = bottlenecks[r.job_id].get(r.stage_id, 0.0)
-            locality = 1.0 if job.executors_in_use > 0 else 0.0
+            job_id = r.job_id
+            bottleneck = bottlenecks[job_id].get(r.stage_id, 0.0)
             out[i] = (
-                self.srpt_weight * srpt
-                + self.bottleneck_weight * bottleneck
-                + self.locality_weight * locality
+                srpt_term[job_id]
+                + bottleneck_weight * bottleneck
+                + locality_term[job_id]
             )
         return out
 

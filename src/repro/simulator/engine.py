@@ -17,6 +17,7 @@ import heapq
 import itertools
 import math
 import time as _wallclock
+from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -92,51 +93,121 @@ class _ExecutorPool:
     released by a still-running job go into that job's reserved list instead
     of the general pool; :meth:`unreserve` returns them when the job
     completes.
+
+    The general pool is a doubly-linked list (arrays indexed by executor id)
+    plus per-last-job candidate queues, so :meth:`take` is O(1) amortized
+    instead of a linear affinity scan, while preserving the exact selection
+    order of the scan it replaces: oldest matching general executor for
+    affinity hits, newest general executor otherwise.
     """
 
     def __init__(self, count: int) -> None:
-        self.general: list[int] = list(range(count))
         self.reserved: dict[int, list[int]] = {}
         self.last_job: list[int | None] = [None] * count
+        # Doubly-linked general list in release order (head = oldest).
+        self._next: list[int | None] = [
+            i + 1 if i + 1 < count else None for i in range(count)
+        ]
+        self._prev: list[int | None] = [
+            i - 1 if i > 0 else None for i in range(count)
+        ]
+        self._head: int | None = 0 if count else None
+        self._tail: int | None = count - 1 if count else None
+        self._in_general = [True] * count
+        self._general_count = count
+        # Monotone per-executor token, bumped on every general append;
+        # candidate-queue entries carry the token they were enqueued under,
+        # so stale entries (executor taken, or re-released since) are
+        # recognized and dropped lazily.
+        self._token = [0] * count
+        self._by_job: dict[int, deque[tuple[int, int]]] = {}
 
+    # -- linked-list primitives -----------------------------------------
+    def _unlink(self, executor_id: int) -> None:
+        prev, nxt = self._prev[executor_id], self._next[executor_id]
+        if prev is None:
+            self._head = nxt
+        else:
+            self._next[prev] = nxt
+        if nxt is None:
+            self._tail = prev
+        else:
+            self._prev[nxt] = prev
+        self._in_general[executor_id] = False
+        self._general_count -= 1
+
+    def _append(self, executor_id: int) -> None:
+        self._prev[executor_id] = self._tail
+        self._next[executor_id] = None
+        if self._tail is None:
+            self._head = executor_id
+        else:
+            self._next[self._tail] = executor_id
+        self._tail = executor_id
+        self._in_general[executor_id] = True
+        self._general_count += 1
+        self._token[executor_id] += 1
+
+    # -------------------------------------------------------------------
     def take(self, job_id: int) -> tuple[int, bool]:
         """Pop an executor for ``job_id``; returns ``(id, needs_move)``.
 
-        Preference order: the job's reserved executors, then a general
-        executor last bound to this job (no move), then any general one.
+        Preference order: the job's reserved executors, then the general
+        executor last bound to this job that has waited longest (no move),
+        then the most recently released general one.
         """
         held = self.reserved.get(job_id)
         if held:
             return held.pop(), False
-        for pos, executor_id in enumerate(self.general):
-            if self.last_job[executor_id] == job_id:
-                self.general.pop(pos)
+        queue = self._by_job.get(job_id)
+        while queue:
+            executor_id, token = queue[0]
+            if self._in_general[executor_id] and self._token[executor_id] == token:
+                queue.popleft()
+                self._unlink(executor_id)
                 return executor_id, False
-        return self.general.pop(), True
+            queue.popleft()  # stale: taken or re-released since enqueued
+        executor_id = self._tail
+        if executor_id is None:
+            raise IndexError("take from an empty executor pool")
+        self._unlink(executor_id)
+        return executor_id, True
 
     def release(self, executor_id: int, job_id: int, hold: bool) -> None:
         self.last_job[executor_id] = job_id
         if hold:
             self.reserved.setdefault(job_id, []).append(executor_id)
         else:
-            self.general.append(executor_id)
+            self._append(executor_id)
+            self._by_job.setdefault(job_id, deque()).append(
+                (executor_id, self._token[executor_id])
+            )
 
     def unreserve(self, job_id: int) -> list[int]:
-        """Return a finished job's held executors to the general pool."""
+        """Return a finished job's held executors to the general pool.
+
+        The returned executors keep their affinity (``last_job``) entries —
+        irrelevant when the owner finished (the engine's only caller), but
+        it keeps the pool observationally identical to a plain list scan.
+        """
         held = self.reserved.pop(job_id, [])
-        self.general.extend(held)
+        for executor_id in held:
+            self._append(executor_id)
+            self._by_job.setdefault(self.last_job[executor_id], deque()).append(
+                (executor_id, self._token[executor_id])
+            )
         return held
 
     def free_for(self, job_id: int) -> int:
-        return len(self.general) + len(self.reserved.get(job_id, ()))
+        return self._general_count + len(self.reserved.get(job_id, ()))
 
     @property
     def general_free(self) -> int:
-        return len(self.general)
+        return self._general_count
 
     @property
     def free_count(self) -> int:
-        return len(self.general) + sum(len(v) for v in self.reserved.values())
+        return self._general_count + sum(len(v) for v in self.reserved.values())
 
     def reserved_counts(self) -> dict[int, int]:
         return {job_id: len(v) for job_id, v in self.reserved.items() if v}
@@ -193,6 +264,10 @@ class Simulation:
         self._seq = itertools.count()
 
         jobs: dict[int, JobRuntime] = {}
+        # Not-yet-finished jobs in arrival order: arrival events insert (the
+        # heap pops them in time order), completions delete, so every
+        # ClusterView reuses this mapping instead of re-sorting all jobs.
+        active: dict[int, JobRuntime] = {}
         pool = _ExecutorPool(self.config.num_executors)
         trace = ScheduleTrace(
             total_executors=self.config.num_executors,
@@ -201,9 +276,11 @@ class Simulation:
         events: list[tuple[float, int, int, tuple]] = []
         sched_time = 0.0
         sched_calls = 0
+        events_processed = 0
         holds = self.scheduler.holds_executors
-        # First grant time per (job, executor), for HoldRecord emission.
-        first_take: dict[tuple[int, int], float] = {}
+        # First grant time per executor, indexed by job, for HoldRecord
+        # emission on job completion (no all-pairs scan).
+        first_take: dict[int, dict[int, float]] = {}
 
         def push(t: float, kind: int, payload: tuple = ()) -> None:
             heapq.heappush(events, (t, next(self._seq), kind, payload))
@@ -223,30 +300,33 @@ class Simulation:
             # Drain every event at this timestamp before scheduling.
             while events and events[0][0] == now:
                 _, _, kind, payload = heapq.heappop(events)
+                events_processed += 1
                 if kind == _ARRIVAL:
                     sub = payload[0]
-                    jobs[sub.job_id] = JobRuntime(
+                    job = JobRuntime(
                         job_id=sub.job_id, dag=sub.dag, arrival_time=now
                     )
+                    jobs[sub.job_id] = job
+                    active[sub.job_id] = job
                     pending_arrivals -= 1
                 elif kind == _TASK_DONE:
                     job_id, stage_id, executor_id = payload
                     job_done = jobs[job_id].record_task_finish(stage_id, now)
                     pool.release(executor_id, job_id, hold=holds and not job_done)
-                    if holds and job_done:
-                        # Close the job's hold intervals and free its roster.
-                        pool.unreserve(job_id)
-                        for (jid, eid), start in list(first_take.items()):
-                            if jid == job_id:
+                    if job_done:
+                        del active[job_id]
+                        if holds:
+                            # Close the job's hold intervals, free its roster.
+                            pool.unreserve(job_id)
+                            for eid, start in first_take.pop(job_id, {}).items():
                                 trace.add_hold(
                                     HoldRecord(
-                                        job_id=jid,
+                                        job_id=job_id,
                                         executor_id=eid,
                                         start=start,
                                         end=now,
                                     )
                                 )
-                                del first_take[(jid, eid)]
                 elif kind == _CARBON_STEP:
                     carbon_event_at = None
 
@@ -265,6 +345,7 @@ class Simulation:
                     per_job_cap=self.config.per_job_executor_cap,
                     general_free=pool.general_free,
                     reserved_free=pool.reserved_counts(),
+                    active=active,
                 )
                 quota = max(1, min(self.provisioner.quota(pre_view), quota))
             trace.add_quota(now, quota)
@@ -282,8 +363,9 @@ class Simulation:
                     blocked=frozenset(blocked),
                     general_free=pool.general_free,
                     reserved_free=pool.reserved_counts(),
+                    active=active,
                 )
-                if not any(r.slots > 0 for r in view.ready_stages()):
+                if not view.has_assignable():
                     break
                 if self.measure_latency:
                     t0 = _wallclock.perf_counter()
@@ -321,8 +403,10 @@ class Simulation:
                     continue
                 for _ in range(assignable):
                     executor_id, needs_move = pool.take(choice.job_id)
-                    if holds and (choice.job_id, executor_id) not in first_take:
-                        first_take[(choice.job_id, executor_id)] = now
+                    if holds:
+                        first_take.setdefault(choice.job_id, {}).setdefault(
+                            executor_id, now
+                        )
                     delay = (
                         self.config.executor_move_delay if needs_move else 0.0
                     )
@@ -347,9 +431,7 @@ class Simulation:
 
             # Keep carbon steps flowing while any work is outstanding, so
             # deferrals always have a future scheduling event to wake on.
-            outstanding = pending_arrivals > 0 or any(
-                not job.done for job in jobs.values()
-            )
+            outstanding = pending_arrivals > 0 or bool(active)
             if outstanding and carbon_event_at is None:
                 carbon_event_at = self.carbon_api.trace.next_change_after(now)
                 push(carbon_event_at, _CARBON_STEP)
@@ -366,6 +448,7 @@ class Simulation:
             finishes={job_id: job.finish_time for job_id, job in jobs.items()},
             scheduler_time_s=sched_time,
             scheduler_invocations=sched_calls,
+            events_processed=events_processed,
         )
 
 

@@ -32,6 +32,7 @@ class ExperimentResult:
     finishes: dict[int, float]
     scheduler_time_s: float = 0.0
     scheduler_invocations: int = 0
+    events_processed: int = 0
     _carbon_cache: float | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------

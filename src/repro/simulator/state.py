@@ -1,12 +1,25 @@
-"""Runtime cluster state and the read-only view handed to schedulers."""
+"""Runtime cluster state and the read-only view handed to schedulers.
+
+The structures here sit on the engine's hottest path: every executor grant
+builds a :class:`ClusterView` and walks the ready frontier, and schedulers
+query per-job aggregates (remaining work, bottleneck scores) on each
+``select`` call. To keep a trial's cost near O(events) instead of
+O(events × jobs × stages), :class:`JobRuntime` maintains its frontier
+incrementally (updated on stage completion rather than re-derived from the
+DAG per call) and memoizes the per-job aggregates behind monotone version
+counters, so cached values are the exact floats a from-scratch recompute
+would produce — simulation results stay bit-identical.
+"""
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping, NamedTuple
 
 from repro.carbon.api import CarbonReading
 from repro.dag.graph import JobDAG, Stage
+from repro.dag.metrics import bottleneck_scores as _bottleneck_scores
 
 
 @dataclass
@@ -14,12 +27,17 @@ class StageRuntime:
     """Progress of one stage of one running job.
 
     ``launched`` counts tasks ever handed to an executor, ``finished`` counts
-    completed tasks; tasks in flight are ``launched - finished``.
+    completed tasks; tasks in flight are ``launched - finished``. When owned
+    by a :class:`JobRuntime`, launches and finishes notify the owner so its
+    cached per-job aggregates stay coherent.
     """
 
     stage: Stage
     launched: int = 0
     finished: int = 0
+    _owner: "JobRuntime | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def running(self) -> int:
@@ -39,16 +57,30 @@ class StageRuntime:
                 f"cannot launch {count} tasks; {self.unlaunched} remain unlaunched"
             )
         self.launched += count
+        if self._owner is not None:
+            self._owner._on_launch(count)
 
     def finish_one(self) -> None:
         if self.running <= 0:
             raise RuntimeError("no running task to finish")
         self.finished += 1
+        if self._owner is not None:
+            self._owner._on_finish()
 
 
 @dataclass
 class JobRuntime:
-    """Progress of one job: its DAG plus per-stage runtime counters."""
+    """Progress of one job: its DAG plus per-stage runtime counters.
+
+    The ready frontier (Definition 4.1's ``A_t`` restricted to this job) is
+    tracked incrementally: ``__post_init__`` seeds it with the DAG roots and
+    :meth:`record_task_finish` advances it when a stage completes, so
+    :meth:`ready_stage_ids` never re-walks the topological order. Aggregates
+    (``executors_in_use``, ``remaining_work``, ``bottleneck_scores``) are
+    memoized behind counters bumped by the owned :class:`StageRuntime`
+    notifications, which keeps them correct even for callers that launch
+    tasks directly on ``job.stages[sid]``.
+    """
 
     job_id: int
     dag: JobDAG
@@ -62,21 +94,85 @@ class JobRuntime:
             self.stages = {
                 sid: StageRuntime(stage) for sid, stage in self.dag.stages.items()
             }
+        for runtime in self.stages.values():
+            runtime._owner = self
+        # Incremental frontier state. Honors a pre-populated
+        # ``completed_stages`` so reconstructed runtimes behave identically.
+        done = self.completed_stages
+        self._topo_index = self.dag.topological_index()
+        self._pending_parents = {
+            sid: sum(1 for p in stage.parents if p not in done)
+            for sid, stage in self.dag.stages.items()
+        }
+        #: Stages whose parents are all complete and that are not themselves
+        #: complete, kept sorted by topological index.
+        self._frontier: list[int] = [
+            sid
+            for sid in self.dag.topological_order()
+            if sid not in done and self._pending_parents[sid] == 0
+        ]
+        self._running_total = sum(sr.running for sr in self.stages.values())
+        self._finished_total = sum(sr.finished for sr in self.stages.values())
+        # Version counters: ``_task_version`` bumps on every launch/finish,
+        # ``_finish_version`` only on finishes, completion count gates the
+        # per-completion caches. Each cache pairs (version, value).
+        self._task_version = 0
+        self._finish_version = 0
+        self._assignable_cache: tuple[int, tuple[int, ...]] | None = None
+        self._full_frontier_cache: tuple[int, tuple[int, ...]] | None = None
+        self._remaining_cache: tuple[int, float] | None = None
+        self._bottleneck_cache: tuple[int, dict[int, float]] | None = None
 
+    # -- StageRuntime notification hooks --------------------------------
+    def _on_launch(self, count: int) -> None:
+        self._running_total += count
+        self._task_version += 1
+
+    def _on_finish(self) -> None:
+        self._running_total -= 1
+        self._finished_total += 1
+        self._task_version += 1
+        self._finish_version += 1
+
+    # -------------------------------------------------------------------
     @property
     def done(self) -> bool:
         return self.finish_time is not None
 
     @property
     def executors_in_use(self) -> int:
-        return sum(sr.running for sr in self.stages.values())
+        return self._running_total
 
     def remaining_work(self) -> float:
-        """Executor-seconds of not-yet-finished tasks (including in-flight)."""
-        return sum(
+        """Executor-seconds of not-yet-finished tasks (including in-flight).
+
+        Memoized per finish-version; the cached value is the identical float
+        the full sum would produce (it *is* that sum, reused).
+        """
+        cached = self._remaining_cache
+        if cached is not None and cached[0] == self._finish_version:
+            return cached[1]
+        value = sum(
             (sr.stage.num_tasks - sr.finished) * sr.stage.task_duration
             for sr in self.stages.values()
         )
+        self._remaining_cache = (self._finish_version, value)
+        return value
+
+    def bottleneck_scores(self) -> dict[int, float]:
+        """Per-stage bottleneck scores over the remaining DAG.
+
+        Delegates to :func:`repro.dag.metrics.bottleneck_scores`, memoized on
+        the completed-stage count (the only input that changes mid-run).
+        Callers must treat the returned mapping as read-only.
+        """
+        version = len(self.completed_stages)
+        cached = self._bottleneck_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        scores = _bottleneck_scores(self.dag, self.completed_stages)
+        self._bottleneck_cache = (version, scores)
+        return scores
 
     def ready_stage_ids(self, include_running: bool = False) -> tuple[int, ...]:
         """The frontier ``A_t`` of Definition 4.1.
@@ -90,16 +186,22 @@ class JobRuntime:
         normalized over this full set, so a side stage stays unimportant
         while a bottleneck stage is still running.
         """
-        done = self.completed_stages
-        out = []
-        for sid in self.dag.topological_order():
-            if sid in done:
-                continue
-            if not all(p in done for p in self.dag.stage(sid).parents):
-                continue
-            if self.stages[sid].unlaunched > 0 or include_running:
-                out.append(sid)
-        return tuple(out)
+        if include_running:
+            cached = self._full_frontier_cache
+            if cached is not None and cached[0] == self._finish_version:
+                return cached[1]
+            out = tuple(self._frontier)
+            self._full_frontier_cache = (self._finish_version, out)
+            return out
+        cached = self._assignable_cache
+        if cached is not None and cached[0] == self._task_version:
+            return cached[1]
+        stages = self.stages
+        out = tuple(
+            sid for sid in self._frontier if stages[sid].unlaunched > 0
+        )
+        self._assignable_cache = (self._task_version, out)
+        return out
 
     def record_task_finish(self, stage_id: int, now: float) -> bool:
         """Mark one task finished; returns True if the whole job completed."""
@@ -107,20 +209,28 @@ class JobRuntime:
         runtime.finish_one()
         if runtime.complete:
             self.completed_stages.add(stage_id)
+            self._frontier.remove(stage_id)
+            topo = self._topo_index
+            pending = self._pending_parents
+            for child in self.dag.children(stage_id):
+                pending[child] -= 1
+                if pending[child] == 0 and child not in self.completed_stages:
+                    insort(self._frontier, child, key=topo.__getitem__)
             if len(self.completed_stages) == len(self.dag):
                 self.finish_time = now
                 return True
         return False
 
 
-@dataclass(frozen=True)
-class ReadyStage:
+class ReadyStage(NamedTuple):
     """One schedulable (job, stage) pair, with its current slack.
 
     ``slots`` is the number of additional executors the engine would accept
     for this stage right now, accounting for unlaunched tasks and the quota
     computed at the top of the scheduling pass. Schedulers must only choose
-    entries with ``slots > 0``.
+    entries with ``slots > 0``. (A NamedTuple rather than a dataclass:
+    frontier entries are built millions of times per trial and tuple
+    construction is measurably cheaper.)
     """
 
     job_id: int
@@ -137,7 +247,9 @@ class ClusterView:
     Exposes everything Definition 4.1's schedulers and the carbon-aware
     wrappers need: the frontier of ready stages, executor occupancy, the
     current carbon reading, and per-job progress. Schedulers must treat it as
-    immutable.
+    immutable; the view relies on that to cache its ready-stage lists (the
+    engine builds a fresh view per grant, so within one view the frontier
+    cannot change).
     """
 
     def __init__(
@@ -152,6 +264,7 @@ class ClusterView:
         blocked: frozenset[tuple[int, int]] = frozenset(),
         general_free: int | None = None,
         reserved_free: dict[int, int] | None = None,
+        active: Mapping[int, JobRuntime] | None = None,
     ) -> None:
         self.time = time
         self.total_executors = total_executors
@@ -161,6 +274,11 @@ class ClusterView:
         self.per_job_cap = per_job_cap
         self._jobs = jobs
         self._blocked = blocked
+        #: Arrival-ordered mapping of not-yet-finished jobs, maintained by
+        #: the engine (arrival events insert, completions delete). ``None``
+        #: means "derive from ``jobs``" — the slow path for hand-built views.
+        self._active = active
+        self._ready_cache: dict[bool, list[ReadyStage]] = {}
         #: Executors in the shared pool (any job may take these). Under
         #: hoarding semantics idle-but-bound executors are *not* here.
         self.general_free = (
@@ -183,6 +301,9 @@ class ClusterView:
 
     def active_jobs(self) -> Iterator[JobRuntime]:
         """Jobs that have arrived and not yet finished, in arrival order."""
+        if self._active is not None:
+            yield from self._active.values()
+            return
         for job in sorted(self._jobs.values(), key=lambda j: j.arrival_time):
             if not job.done:
                 yield job
@@ -201,39 +322,93 @@ class ClusterView:
 
         Entries blocked earlier in the same scheduling pass (because the
         engine could not grow them) are excluded, which guarantees the
-        assignment loop terminates.
+        assignment loop terminates. The result is cached on the view (one
+        list per flag value); both the engine's "anything assignable?" check
+        and the scheduler's own call then share one frontier walk.
         """
+        cached = self._ready_cache.get(include_saturated)
+        if cached is not None:
+            return cached
         out: list[ReadyStage] = []
+        append = out.append
         quota_room = max(0, self.quota - self.busy_executors)
+        general_free = self.general_free
+        reserved_free = self.reserved_free
+        blocked = self._blocked
+        per_job_cap = self.per_job_cap
         for job in self.active_jobs():
-            job_pool = self.general_free + self.reserved_free.get(job.job_id, 0)
+            job_id = job.job_id
+            job_pool = general_free + (
+                reserved_free.get(job_id, 0) if reserved_free else 0
+            )
             budget = min(quota_room, job_pool)
             job_headroom = (
-                self.per_job_cap - job.executors_in_use
-                if self.per_job_cap is not None
+                per_job_cap - job.executors_in_use
+                if per_job_cap is not None
                 else budget
             )
+            if job_headroom < 0:
+                job_headroom = 0
+            stages = job.stages
             for sid in job.ready_stage_ids(include_running=include_saturated):
-                if (job.job_id, sid) in self._blocked:
+                if blocked and (job_id, sid) in blocked:
                     continue
-                runtime = job.stages[sid]
-                slots = min(runtime.unlaunched, budget, max(job_headroom, 0))
-                if slots <= 0 and not include_saturated:
-                    # Zero-slot entries are only meaningful to Definition 4.2
-                    # normalization; hide them from plain schedulers.
-                    if runtime.unlaunched <= 0:
+                runtime = stages[sid]
+                stage = runtime.stage
+                unlaunched = stage.num_tasks - runtime.launched
+                slots = min(unlaunched, budget, job_headroom)
+                if slots <= 0:
+                    if not include_saturated and unlaunched <= 0:
+                        # Zero-slot entries are only meaningful to
+                        # Definition 4.2 normalization; hide them from
+                        # plain schedulers.
                         continue
-                out.append(
+                    slots = 0
+                append(
                     ReadyStage(
-                        job_id=job.job_id,
-                        stage_id=sid,
-                        stage=runtime.stage,
-                        unlaunched=runtime.unlaunched,
-                        running=runtime.running,
-                        slots=max(slots, 0),
+                        job_id,
+                        sid,
+                        stage,
+                        unlaunched,
+                        runtime.launched - runtime.finished,
+                        slots,
                     )
                 )
+        self._ready_cache[include_saturated] = out
         return out
 
+    def has_assignable(self) -> bool:
+        """True iff any ready stage could receive an executor right now.
+
+        Exactly equivalent to ``any(r.slots > 0 for r in ready_stages())``
+        but short-circuits on the first hit instead of materializing the
+        frontier — this is the engine's per-grant loop condition.
+        """
+        quota_room = self.quota - self.busy_executors
+        if quota_room <= 0:
+            return False
+        general_free = self.general_free
+        reserved_free = self.reserved_free
+        blocked = self._blocked
+        per_job_cap = self.per_job_cap
+        for job in self.active_jobs():
+            job_id = job.job_id
+            job_pool = general_free + (
+                reserved_free.get(job_id, 0) if reserved_free else 0
+            )
+            if job_pool <= 0:
+                continue
+            if per_job_cap is not None and per_job_cap <= job.executors_in_use:
+                continue
+            for sid in job.ready_stage_ids():
+                # The assignable frontier guarantees unlaunched > 0, so a
+                # non-blocked entry here has slots > 0.
+                if blocked and (job_id, sid) in blocked:
+                    continue
+                return True
+        return False
+
     def queued_job_count(self) -> int:
+        if self._active is not None:
+            return len(self._active)
         return sum(1 for _ in self.active_jobs())

@@ -166,3 +166,76 @@ class TestIntegration:
         whole = trace.integrate(12.0, 170.0)
         split = trace.integrate(12.0, 75.0) + trace.integrate(75.0, 170.0)
         assert whole == pytest.approx(split)
+
+
+def segment_walk_integral(trace, t_start, t_end):
+    """Reference: the pre-refactor per-segment integration loop."""
+    total = 0.0
+    t = t_start
+    while t < t_end:
+        boundary = trace.next_change_after(t)
+        seg_end = min(boundary, t_end)
+        total += trace.intensity_at(t) * (seg_end - t)
+        t = seg_end
+    return total
+
+
+class TestCumulativeIntegration:
+    """The two-lookup integrate() must agree with the segment walk."""
+
+    def test_matches_segment_walk_wrapping(self):
+        trace = make_trace([30.0, 120.0, 45.0, 200.0], step_seconds=60.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            a, b = np.sort(rng.uniform(0.0, 3 * 240.0, size=2))
+            assert trace.integrate(a, b) == pytest.approx(
+                segment_walk_integral(trace, a, b)
+            )
+
+    def test_matches_segment_walk_no_wrap(self):
+        trace = CarbonTrace(
+            [30.0, 120.0, 45.0], step_seconds=60.0, wrap=False
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = np.sort(rng.uniform(0.0, 500.0, size=2))
+            assert trace.integrate(a, b) == pytest.approx(
+                segment_walk_integral(trace, a, b)
+            )
+
+    def test_cumulative_at_zero(self):
+        trace = make_trace([100.0, 200.0])
+        assert trace.cumulative_at(0.0) == 0.0
+        with pytest.raises(ValueError):
+            trace.cumulative_at(-1.0)
+
+    def test_integrate_many_matches_scalar(self):
+        trace = make_trace([30.0, 120.0, 45.0, 200.0], step_seconds=60.0)
+        rng = np.random.default_rng(2)
+        starts = rng.uniform(0.0, 600.0, size=64)
+        ends = starts + rng.uniform(0.0, 300.0, size=64)
+        batch = trace.integrate_many(starts, ends)
+        assert batch.shape == (64,)
+        for a, b, value in zip(starts, ends, batch):
+            assert value == pytest.approx(trace.integrate(a, b))
+
+    def test_integrate_many_no_wrap(self):
+        trace = CarbonTrace([50.0, 150.0], step_seconds=60.0, wrap=False)
+        batch = trace.integrate_many([0.0, 100.0, 200.0], [60.0, 130.0, 260.0])
+        for (a, b), value in zip(
+            [(0.0, 60.0), (100.0, 130.0), (200.0, 260.0)], batch
+        ):
+            assert value == pytest.approx(trace.integrate(a, b))
+
+    def test_integrate_many_empty(self):
+        trace = make_trace([100.0])
+        assert trace.integrate_many([], []).size == 0
+
+    def test_integrate_many_validation(self):
+        trace = make_trace([100.0])
+        with pytest.raises(ValueError):
+            trace.integrate_many([0.0, 5.0], [1.0])
+        with pytest.raises(ValueError):
+            trace.integrate_many([5.0], [1.0])
+        with pytest.raises(ValueError):
+            trace.integrate_many([-1.0], [1.0])

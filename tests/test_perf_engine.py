@@ -1,0 +1,99 @@
+"""Tests for the engine-throughput harness (``repro perf``)."""
+
+import json
+
+import pytest
+
+from repro.experiments.perf import (
+    PRE_REFACTOR_BASELINE_S,
+    PerfScenario,
+    build_scenarios,
+    format_report,
+    run_scenario,
+    run_suite,
+    smoke_scenarios,
+    write_report,
+)
+
+
+def tiny_scenario(**overrides):
+    params = dict(
+        name="tiny-fifo", scheduler="fifo", num_jobs=3, num_executors=4,
+        trace_hours=200,
+    )
+    params.update(overrides)
+    return PerfScenario(**params)
+
+
+class TestScenarios:
+    def test_default_grid_is_scheduler_times_jobs(self):
+        scenarios = build_scenarios(
+            schedulers=("fifo", "decima"), job_counts=(5, 10)
+        )
+        assert [s.name for s in scenarios] == [
+            "fifo-5", "fifo-10", "decima-5", "decima-10",
+        ]
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenarios(schedulers=("nope",))
+
+    def test_smoke_grid_is_small(self):
+        scenarios = smoke_scenarios()
+        assert scenarios and all(s.num_jobs <= 10 for s in scenarios)
+
+    def test_default_grid_covers_recorded_baseline(self):
+        names = {s.name for s in build_scenarios()}
+        assert set(PRE_REFACTOR_BASELINE_S) <= names
+
+
+class TestMeasurement:
+    def test_run_scenario_measures_throughput(self):
+        m = run_scenario(tiny_scenario())
+        assert m.tasks > 0
+        assert m.events >= m.tasks  # every task completion is an event
+        assert m.events_per_s > 0 and m.tasks_per_s > 0
+        assert m.select_calls > 0
+        assert m.avg_select_latency_ms >= 0
+        assert m.speedup_vs_pre_refactor is None  # not a recorded scenario
+
+    def test_events_counted_on_result(self):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment(tiny_scenario().config())
+        # Arrivals + one completion per task, plus carbon steps.
+        assert result.events_processed >= len(result.trace.tasks) + 3
+
+    def test_report_round_trips(self, tmp_path):
+        measurements = run_suite([tiny_scenario()])
+        path = tmp_path / "BENCH_engine.json"
+        doc = write_report(measurements, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["benchmark"] == "engine-throughput"
+        assert loaded["scenarios"] == doc["scenarios"]
+        assert loaded["pre_refactor_baseline_s"] == PRE_REFACTOR_BASELINE_S
+        (row,) = loaded["scenarios"]
+        assert row["name"] == "tiny-fifo"
+        assert row["tasks"] == measurements[0].tasks
+
+    def test_format_report_lists_every_scenario(self):
+        measurements = run_suite([tiny_scenario()])
+        table = format_report(measurements)
+        assert "tiny-fifo" in table and "events/s" in table
+
+
+class TestCLI:
+    def test_perf_smoke_writes_json(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        # Shrink the smoke grid further so the CLI test stays fast.
+        monkeypatch.setattr(
+            "repro.experiments.perf.smoke_scenarios",
+            lambda: [tiny_scenario(name="smoke-tiny")],
+        )
+        assert main(["perf", "--smoke", "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "smoke-tiny" in captured
+        assert out.exists()
+        assert json.loads(out.read_text())["scenarios"][0]["name"] == "smoke-tiny"

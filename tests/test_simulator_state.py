@@ -1,9 +1,11 @@
 """Unit tests for runtime state (StageRuntime / JobRuntime / ClusterView)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.carbon.api import CarbonReading
 from repro.dag.graph import JobDAG, Stage, diamond_dag
+from repro.dag.metrics import bottleneck_scores
 from repro.simulator.state import ClusterView, JobRuntime, StageRuntime
 
 
@@ -162,3 +164,121 @@ class TestClusterView:
         job = JobRuntime(0, diamond_dag(), arrival_time=0.0)
         view = make_view([job], busy=3, total=4, quota=3)
         assert view.assignable_executors == 0
+
+    def test_has_assignable_matches_ready_stages(self):
+        job = JobRuntime(0, diamond_dag(num_tasks=2), arrival_time=0.0)
+        view = make_view([job], busy=0, total=4)
+        assert view.has_assignable() == any(
+            r.slots > 0 for r in view.ready_stages()
+        )
+        job2 = JobRuntime(0, diamond_dag(num_tasks=2), arrival_time=0.0)
+        job2.stages[0].launch(2)  # root saturated: nothing assignable
+        view = make_view([job2], busy=2, total=4)
+        assert not view.has_assignable()
+        assert not any(r.slots > 0 for r in view.ready_stages())
+
+    def test_has_assignable_respects_blocked_and_quota(self):
+        job = JobRuntime(0, JobDAG([Stage(0, 5, 1.0)]), arrival_time=0.0)
+        view = make_view([job], blocked=frozenset({(0, 0)}))
+        assert not view.has_assignable()
+        view = make_view([job], busy=4, total=4)
+        assert not view.has_assignable()
+
+    def test_engine_active_mapping_drives_iteration_order(self):
+        j1 = JobRuntime(1, diamond_dag(), arrival_time=5.0)
+        j2 = JobRuntime(2, diamond_dag(), arrival_time=1.0)
+        view = make_view([j1, j2], active={2: j2, 1: j1})
+        assert [j.job_id for j in view.active_jobs()] == [2, 1]
+        assert view.queued_job_count() == 2
+
+
+# ----------------------------------------------------------------------
+# Property: the incrementally-maintained frontier and memoized aggregates
+# must equal a from-scratch recomputation at every step of any run.
+# ----------------------------------------------------------------------
+@st.composite
+def small_dag(draw, max_stages=7):
+    """A random valid DAG: each stage depends on a subset of earlier ones."""
+    n = draw(st.integers(min_value=1, max_value=max_stages))
+    stages = []
+    for sid in range(n):
+        parents = ()
+        if sid > 0:
+            mask = draw(st.lists(st.booleans(), min_size=sid, max_size=sid))
+            parents = tuple(i for i, used in enumerate(mask) if used)
+        stages.append(
+            Stage(
+                stage_id=sid,
+                num_tasks=draw(st.integers(min_value=1, max_value=3)),
+                task_duration=draw(st.floats(min_value=0.5, max_value=20.0)),
+                parents=parents,
+            )
+        )
+    return JobDAG(stages)
+
+
+def reference_ready_stage_ids(job, include_running):
+    """The pre-refactor frontier derivation: re-walk the topological order."""
+    done = job.completed_stages
+    out = []
+    for sid in job.dag.topological_order():
+        if sid in done:
+            continue
+        if not all(p in done for p in job.dag.stage(sid).parents):
+            continue
+        if job.stages[sid].unlaunched > 0 or include_running:
+            out.append(sid)
+    return tuple(out)
+
+
+def reference_remaining_work(job):
+    return sum(
+        (sr.stage.num_tasks - sr.finished) * sr.stage.task_duration
+        for sr in job.stages.values()
+    )
+
+
+class TestIncrementalFrontierProperty:
+    @given(small_dag(), st.randoms(use_true_random=False))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_from_scratch_recomputation(self, dag, rng):
+        job = JobRuntime(0, dag, arrival_time=0.0)
+        now = 0.0
+
+        def check():
+            assert job.ready_stage_ids() == reference_ready_stage_ids(
+                job, include_running=False
+            )
+            assert job.ready_stage_ids(
+                include_running=True
+            ) == reference_ready_stage_ids(job, include_running=True)
+            assert job.executors_in_use == sum(
+                sr.running for sr in job.stages.values()
+            )
+            assert job.remaining_work() == reference_remaining_work(job)
+            assert job.bottleneck_scores() == bottleneck_scores(
+                dag, job.completed_stages
+            )
+
+        check()
+        while not job.done:
+            now += 1.0
+            launchable = [
+                sid
+                for sid in job.ready_stage_ids()
+                if job.stages[sid].unlaunched > 0
+            ]
+            running = [
+                sid for sid, sr in job.stages.items() if sr.running > 0
+            ]
+            # Randomly interleave launches and finishes; always legal.
+            if launchable and (not running or rng.random() < 0.6):
+                sid = rng.choice(launchable)
+                job.stages[sid].launch(
+                    rng.randint(1, job.stages[sid].unlaunched)
+                )
+            elif running:
+                job.record_task_finish(rng.choice(running), now=now)
+            check()
+        assert job.ready_stage_ids(include_running=True) == ()
+        assert job.remaining_work() == 0.0

@@ -126,6 +126,37 @@ class TestSeries:
         assert grid[0, 5] == 3
         assert grid[1, 5] == -1  # idle executor
 
+    def test_counts_are_integers(self):
+        trace = ScheduleTrace(total_executors=2)
+        trace.add_task(task(executor=0, start=0.0, dur=10.0))
+        _, counts = busy_executor_series(trace, resolution=1.0)
+        assert np.issubdtype(counts.dtype, np.integer)
+        _, job_counts = jobs_in_system_series({0: 0.0}, {0: 5.0}, resolution=1.0)
+        assert np.issubdtype(job_counts.dtype, np.integer)
+
+    def test_empty_trace_series(self):
+        trace = ScheduleTrace(total_executors=2)
+        times, counts = busy_executor_series(trace, resolution=1.0)
+        assert counts.sum() == 0 and len(times) == len(counts)
+
+    def test_executor_timeline_covers_holds_past_last_task(self):
+        """Hold intervals ending after the task makespan must not be clipped."""
+        trace = ScheduleTrace(total_executors=1)
+        trace.add_task(task(dur=5.0))
+        trace.add_hold(HoldRecord(job_id=0, executor_id=0, start=0.0, end=40.0))
+        grid = executor_timeline(trace, resolution=1.0)
+        assert grid.shape[1] >= 40
+        assert grid[0, 39] == 0  # still held (and drawing power) at t=39
+
+    def test_executor_timeline_empty_trace(self):
+        grid = executor_timeline(ScheduleTrace(total_executors=3))
+        assert grid.shape[0] == 3
+        assert (grid == -1).all()
+
+    def test_executor_timeline_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            executor_timeline(ScheduleTrace(total_executors=1), resolution=0)
+
     def test_quota_dedup(self):
         trace = ScheduleTrace(total_executors=1)
         trace.add_quota(0.0, 5)
