@@ -1,0 +1,161 @@
+"""Geo federation figure: single-region PCAPS vs. federated routing.
+
+Runs the six-grid federation scenario (one PCAPS cluster per Table-1 grid)
+under every routing policy on the identical workload, next to the
+single-region counterfactuals: the whole batch on one PCAPS cluster per
+grid holding the *total* federated executor count, so the comparison is
+capacity-matched. The figure is the subsystem's headline claim: spatial
+shifting on top of the paper's temporal shifting buys a further carbon
+cut, even after paying for inter-region data transfer.
+
+Dual-use:
+
+- ``python benchmarks/bench_geo_federation.py [--smoke]`` runs standalone
+  and writes ``BENCH_geo.json`` (CI uploads the smoke variant);
+- ``pytest benchmarks/bench_geo_federation.py --benchmark-only`` times the
+  full scenario under pytest-benchmark like the other benches.
+
+The carbon-forecast < round-robin total-carbon ordering is asserted in
+both modes — it is the acceptance gate for the federation subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import __version__
+from repro.experiments.federation import (
+    run_routing_matchup,
+    scaled_single_region,
+)
+from repro.geo import FederationConfig, run_federation
+from repro.geo.routing import ROUTING_POLICY_NAMES
+from repro.workloads.batch import WorkloadSpec
+
+
+def scenario(smoke: bool) -> FederationConfig:
+    if smoke:
+        workload = WorkloadSpec(
+            family="tpch", num_jobs=12, mean_interarrival=15.0,
+            tpch_scales=(2,),
+        )
+        executors = 6
+    else:
+        workload = WorkloadSpec(
+            family="tpch", num_jobs=48, mean_interarrival=20.0,
+            tpch_scales=(2, 10),
+        )
+        executors = 12
+    return FederationConfig.six_grid(
+        scheduler="pcaps", num_executors=executors, workload=workload, seed=1
+    )
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = scenario(smoke)
+    federated = run_routing_matchup(config, ROUTING_POLICY_NAMES)
+    # Capacity-matched counterfactuals: the whole batch on one cluster per
+    # grid holding the total federated executor count (no transfer cost).
+    single = {
+        name: run_federation(scaled_single_region(config, name)).total_carbon_g
+        for name in config.region_names()
+    }
+    doc = {
+        "benchmark": "geo-federation",
+        "version": __version__,
+        "mode": "smoke" if smoke else "full",
+        "num_jobs": config.workload.num_jobs,
+        "executors_per_region": config.regions[0].num_executors,
+        "federated": {
+            name: {
+                "total_carbon_g": result.total_carbon_g,
+                "compute_carbon_g": result.compute_carbon_g,
+                "transfer_carbon_g": result.transfer_carbon_g,
+                "ect": result.ect,
+                "avg_jct": result.avg_jct,
+                "avg_stretch": result.avg_stretch,
+                "moved_jobs": result.moved_jobs(),
+                "jobs_per_region": result.jobs_per_region(),
+            }
+            for name, result in federated.items()
+        },
+        "single_region_carbon_g": single,
+        "single_region_capacity_matched": True,
+    }
+    return doc
+
+
+def format_figure(doc: dict) -> list[str]:
+    """ASCII bar chart of total carbon per deployment option."""
+    rows: list[tuple[str, float]] = [
+        (f"single:{name}", grams)
+        for name, grams in sorted(doc["single_region_carbon_g"].items())
+    ] + [
+        (f"fed:{name}", metrics["total_carbon_g"])
+        for name, metrics in doc["federated"].items()
+    ]
+    top = max(grams for _, grams in rows)
+    lines = [f"total carbon (g) — {doc['num_jobs']} jobs, "
+             f"{doc['executors_per_region']} executors/region"]
+    for name, grams in sorted(rows, key=lambda r: r[1]):
+        bar = "#" * max(1, round(40 * grams / top))
+        lines.append(f"  {name:<20} {grams:>9.1f} {bar}")
+    rr = doc["federated"]["round-robin"]["total_carbon_g"]
+    cf = doc["federated"]["carbon-forecast"]["total_carbon_g"]
+    lines.append(
+        f"  carbon-forecast vs round-robin: "
+        f"{100.0 * (1.0 - cf / rr):+.1f}% carbon"
+    )
+    return lines
+
+
+def check_acceptance(doc: dict) -> None:
+    rr = doc["federated"]["round-robin"]["total_carbon_g"]
+    cf = doc["federated"]["carbon-forecast"]["total_carbon_g"]
+    assert cf < rr, (
+        f"carbon-forecast ({cf:.1f} g) must beat round-robin ({rr:.1f} g)"
+    )
+
+
+def write_report(doc: dict, output: str) -> None:
+    Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI scenario instead of the full figure",
+    )
+    parser.add_argument("--output", default="BENCH_geo.json")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(smoke=args.smoke)
+    for line in format_figure(doc):
+        print(line)
+    check_acceptance(doc)
+    write_report(doc, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_geo_federation(benchmark):
+    """pytest-benchmark entry point (full scenario, timed once)."""
+    from _report import emit, run_once
+
+    doc = run_once(benchmark, run_benchmark, False)
+    emit("Geo federation — BENCH_geo", format_figure(doc))
+    check_acceptance(doc)
+    write_report(doc, "BENCH_geo.json")
+    benchmark.extra_info["total_carbon_g"] = {
+        name: round(m["total_carbon_g"], 1)
+        for name, m in doc["federated"].items()
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

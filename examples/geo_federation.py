@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Geo-distributed federation: routing jobs between grids, not just in time.
+
+The paper's schedulers shift work *temporally* — defer low-importance
+stages until the local grid is cleaner. This walkthrough adds the *spatial*
+dimension: six clusters, one per Table-1 grid (PJM, CAISO, ON, DE, NSW,
+ZA), each running PCAPS internally, federated under a routing layer that
+decides *where* each arriving job executes. Moving a job is not free: its
+input data ships over the WAN at a carbon cost priced by the federation's
+transfer model.
+
+Four routing policies on the identical workload:
+
+- round-robin      — spatially blind baseline;
+- queue-aware      — least-loaded, carbon-blind;
+- carbon-greedy    — chases the currently-cleanest grid, transfer-blind;
+- carbon-forecast  — minimizes expected footprint (forecast bounds +
+                     estimated runtime + transfer carbon).
+
+Run:  python examples/geo_federation.py
+"""
+
+from repro.experiments.federation import run_routing_matchup
+from repro.geo import FederationConfig, compare_federations
+from repro.workloads.batch import WorkloadSpec
+
+EXECUTORS_PER_REGION = 10
+NUM_JOBS = 24
+SEED = 1
+
+
+def main() -> None:
+    # 1. One cluster per Table-1 grid, PCAPS inside every cluster.
+    config = FederationConfig.six_grid(
+        scheduler="pcaps",
+        num_executors=EXECUTORS_PER_REGION,
+        workload=WorkloadSpec(
+            family="tpch",
+            num_jobs=NUM_JOBS,
+            mean_interarrival=20.0,
+            tpch_scales=(2, 10),
+        ),
+        seed=SEED,
+    )
+    print(
+        f"{len(config.regions)} regions × {EXECUTORS_PER_REGION} executors, "
+        f"{NUM_JOBS} jobs, origins seeded uniform\n"
+    )
+
+    # 2. Every routing policy sees the identical arrivals and traces.
+    results = run_routing_matchup(config)
+
+    # 3. Where did the jobs land?
+    print(f"{'routing':<17} " + " ".join(
+        f"{name:>6}" for name in config.region_names()
+    ))
+    for name, result in results.items():
+        counts = result.jobs_per_region()
+        print(f"{name:<17} " + " ".join(
+            f"{counts[region]:>6}" for region in config.region_names()
+        ))
+
+    # 4. Global metrics, normalized to the round-robin baseline.
+    base = results["round-robin"]
+    print(
+        f"\n{'routing':<17} {'carbon_g':>9} {'Δcarbon':>9} "
+        f"{'ECT':>7} {'JCT':>7} {'transfer_g':>11}"
+    )
+    for name, result in results.items():
+        m = compare_federations(result, base)
+        print(
+            f"{name:<17} {result.total_carbon_g:>9.1f} "
+            f"{m.carbon_reduction_pct:>+8.1f}% {m.ect_ratio:>7.3f} "
+            f"{m.jct_ratio:>7.3f} {result.transfer_carbon_g:>11.1f}"
+        )
+    print(
+        "\ncarbon-aware routing concentrates work in clean grids (ON's"
+        "\nhydro, CAISO's midday solar) and pays for it in queueing and"
+        "\ntransfer carbon — the spatial version of the paper's"
+        "\ncarbon-vs-time tradeoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,14 +12,17 @@ Run:  python examples/multi_grid_comparison.py
 
 from repro.experiments.figures import grid_comparison
 
+NUM_EXECUTORS = 20
+NUM_JOBS = 12
+
 
 def main() -> None:
     rows = grid_comparison(
         mode="standalone",
         schedulers=("decima", "cap-fifo", "pcaps"),
         baseline="fifo",
-        num_executors=20,
-        num_jobs=12,
+        num_executors=NUM_EXECUTORS,
+        num_jobs=NUM_JOBS,
     )
     by_grid: dict[str, dict[str, float]] = {}
     covs: dict[str, float] = {}

@@ -30,6 +30,15 @@ Quickstart::
 
 from repro.campaign.cache import CacheStats, trial_key
 from repro.campaign.executor import CampaignRun, CampaignRunner
+from repro.campaign.geo import (
+    GeoCampaignRun,
+    GeoCampaignSpec,
+    format_geo_report,
+    geo_campaign_report,
+    geo_presets,
+    geo_trial_key,
+    run_geo_campaign,
+)
 from repro.campaign.reports import campaign_report, format_campaign_report
 from repro.campaign.spec import CampaignSpec, campaign_presets, matchup_spec
 from repro.campaign.store import ResultStore, TrialRecord
@@ -39,11 +48,18 @@ __all__ = [
     "CampaignRun",
     "CampaignRunner",
     "CampaignSpec",
+    "GeoCampaignRun",
+    "GeoCampaignSpec",
     "ResultStore",
     "TrialRecord",
     "campaign_presets",
     "campaign_report",
     "format_campaign_report",
+    "format_geo_report",
+    "geo_campaign_report",
+    "geo_presets",
+    "geo_trial_key",
     "matchup_spec",
+    "run_geo_campaign",
     "trial_key",
 ]

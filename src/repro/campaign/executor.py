@@ -21,7 +21,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.campaign.cache import CacheStats, trial_key
 from repro.campaign.spec import CampaignSpec, config_from_dict, config_to_dict
@@ -60,32 +60,54 @@ def trial_label(config: ExperimentConfig) -> str:
     return " ".join(parts)
 
 
-def run_trial_to_record(
-    key: str, campaign: str, config: ExperimentConfig
+def capture_trial_record(
+    key: str,
+    campaign: str,
+    config_dict: dict,
+    execute: Callable[[], Any],
+    metrics_of: Callable[[Any], dict],
 ) -> TrialRecord:
-    """Execute one trial, capturing failure as an ``error`` record."""
+    """Run one trial through the shared failure-isolation scaffold.
+
+    The single place timing, ``ok``/``error`` status, and traceback capture
+    live; both scheduler trials (here) and federation trials
+    (:mod:`repro.campaign.geo`) funnel through it.
+    """
     start = time.perf_counter()
     try:
-        result = execute_trial(config)
+        result = execute()
         return TrialRecord(
             key=key,
             campaign=campaign,
-            config=config_to_dict(config),
+            config=config_dict,
             status=STATUS_OK,
-            metrics=result_metrics(result),
+            metrics=metrics_of(result),
             duration_s=time.perf_counter() - start,
         )
     except Exception as exc:  # failure isolation: one trial, one record
         return TrialRecord(
             key=key,
             campaign=campaign,
-            config=config_to_dict(config),
+            config=config_dict,
             status=STATUS_ERROR,
             error="".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip(),
             duration_s=time.perf_counter() - start,
         )
+
+
+def run_trial_to_record(
+    key: str, campaign: str, config: ExperimentConfig
+) -> TrialRecord:
+    """Execute one trial, capturing failure as an ``error`` record."""
+    return capture_trial_record(
+        key,
+        campaign,
+        config_to_dict(config),
+        lambda: execute_trial(config),
+        result_metrics,
+    )
 
 
 def _pool_worker(payload: tuple[str, str, dict]) -> TrialRecord:
@@ -115,6 +137,12 @@ class CampaignRun:
 class CampaignRunner:
     """Runs campaigns against one store, with a process pool and caching.
 
+    The resume/record/progress loop is config-type agnostic: subclasses
+    (e.g. the federation campaigns in :mod:`repro.campaign.geo`) override
+    the ``trial_key_for`` / ``run_record`` / ``payload_for`` / ``label_for``
+    hooks and the picklable ``worker`` entry point to sweep a different
+    config type through the identical store, cache, and pool machinery.
+
     Parameters
     ----------
     store:
@@ -127,6 +155,9 @@ class CampaignRunner:
         Folded into every trial key; defaults to ``repro.__version__``.
     """
 
+    #: Top-level (picklable) pool entry point taking one payload tuple.
+    worker = staticmethod(_pool_worker)
+
     def __init__(
         self,
         store: ResultStore,
@@ -137,14 +168,32 @@ class CampaignRunner:
         self.workers = workers
         self.code_version = code_version
 
+    # -- config-type hooks (overridden by e.g. GeoCampaignRunner) --------
+    def trial_key_for(self, config) -> str:
+        return trial_key(config, self.code_version)
+
+    def run_record(self, key: str, campaign: str, config) -> TrialRecord:
+        """Execute one trial inline, capturing failure as an error record."""
+        return run_trial_to_record(key, campaign, config)
+
+    def payload_for(self, key: str, campaign: str, config) -> tuple:
+        """The picklable payload handed to :attr:`worker`."""
+        return (key, campaign, config_to_dict(config))
+
+    def label_for(self, record: TrialRecord) -> str:
+        return trial_label(config_from_dict(record.config))
+
     # ------------------------------------------------------------------
-    def keyed_trials(
-        self, spec: CampaignSpec
-    ) -> list[tuple[str, ExperimentConfig]]:
-        """(key, config) per trial, deduplicated, in campaign order."""
-        seen: dict[str, ExperimentConfig] = {}
+    def keyed_trials(self, spec) -> list[tuple[str, Any]]:
+        """(key, config) per trial, deduplicated, in campaign order.
+
+        Config values are whatever type the spec expands to —
+        :class:`ExperimentConfig` here, ``FederationConfig`` under
+        :class:`~repro.campaign.geo.GeoCampaignRunner`.
+        """
+        seen: dict[str, Any] = {}
         for config in spec.trials():
-            seen.setdefault(trial_key(config, self.code_version), config)
+            seen.setdefault(self.trial_key_for(config), config)
         return list(seen.items())
 
     def collect(self, spec: CampaignSpec) -> list[TrialRecord]:
@@ -177,9 +226,7 @@ class CampaignRunner:
             done += 1
             if on_progress is not None:
                 on_progress(
-                    done,
-                    total,
-                    f"cached {trial_label(config_from_dict(records[key].config))}",
+                    done, total, f"cached {self.label_for(records[key])}"
                 )
 
         def finish(record: TrialRecord) -> None:
@@ -189,19 +236,20 @@ class CampaignRunner:
             done += 1
             if on_progress is not None:
                 verb = "ok   " if record.ok else "FAIL "
-                label = trial_label(config_from_dict(record.config))
+                label = self.label_for(record)
                 on_progress(done, total, f"{verb}{label} ({record.duration_s:.2f}s)")
 
         workers = self._effective_workers(len(pending))
         if workers <= 1:
             for key, config in pending:
-                finish(run_trial_to_record(key, spec.name, config))
+                finish(self.run_record(key, spec.name, config))
         elif pending:
             payloads = [
-                (key, spec.name, config_to_dict(config)) for key, config in pending
+                self.payload_for(key, spec.name, config)
+                for key, config in pending
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_pool_worker, p) for p in payloads]
+                futures = [pool.submit(self.worker, p) for p in payloads]
                 for future in as_completed(futures):
                     finish(future.result())
 

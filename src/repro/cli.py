@@ -10,7 +10,10 @@ Gives downstream users the paper's experiments without writing code:
 - ``repro campaign`` — list/run/resume/report parallel experiment campaigns
   (process-pool fan-out with content-addressed result caching);
 - ``repro perf`` — engine throughput benchmark (events/s, tasks/s, select
-  latency), written to ``BENCH_engine.json``.
+  latency), written to ``BENCH_engine.json``;
+- ``repro geo`` — geo-distributed federation: run one multi-region trial,
+  compare routing policies on the identical workload, or sweep a geo
+  campaign preset against the result store.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ import argparse
 import os
 import sys
 
-from repro.carbon.grids import GRID_CODES, GRID_SPECS, synthesize_trace
+from repro.carbon.grids import GRID_CODES, GRID_SPECS
 from repro.experiments.motivation import fig1_comparison
 from repro.experiments.runner import (
     SCHEDULER_NAMES,
@@ -149,6 +152,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 DEFAULT_CAMPAIGN_STORE = "campaign-results.jsonl"
 
+#: Mirrors ``repro.geo.routing.ROUTING_POLICY_NAMES`` as a literal so
+#: build_parser never imports the geo subsystem (handlers import lazily);
+#: a test pins the two tuples equal.
+GEO_ROUTING_CHOICES = (
+    "round-robin",
+    "queue-aware",
+    "carbon-greedy",
+    "carbon-forecast",
+)
+
 
 def _campaign_spec(args: argparse.Namespace):
     from repro.campaign import campaign_presets
@@ -273,6 +286,144 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     write_report(measurements, args.output)
     print(f"wrote {args.output}")
     return 0
+
+
+def _geo_config(args: argparse.Namespace):
+    from repro.geo import FederationConfig, RegionConfig
+
+    grids = [g.strip().upper() for g in args.regions.split(",") if g.strip()]
+    unknown = [g for g in grids if g not in GRID_CODES]
+    if unknown:
+        print(f"unknown grids: {unknown}; choose from {GRID_CODES}")
+        return None
+    origin = args.origin.strip().lower() if args.origin else None
+    member_names = [g.lower() for g in grids]
+    if origin is not None and origin not in member_names:
+        print(f"unknown origin region {args.origin!r}; "
+              f"choose from {member_names}")
+        return None
+    try:
+        regions = tuple(
+            RegionConfig(
+                name=grid.lower(),
+                grid=grid,
+                scheduler=args.scheduler,
+                num_executors=args.executors,
+            )
+            for grid in grids
+        )
+        return FederationConfig(
+            regions=regions,
+            # `compare` runs every policy and has no --routing flag.
+            routing=getattr(args, "routing", "round-robin"),
+            workload=WorkloadSpec(
+                family=args.family,
+                num_jobs=args.jobs,
+                mean_interarrival=args.interarrival,
+            ),
+            seed=args.seed,
+            origin_region=origin,
+        )
+    except ValueError as exc:  # e.g. duplicate or empty --regions
+        print(f"invalid federation: {exc}")
+        return None
+
+
+def _print_federation(result) -> None:
+    print(f"routing {result.routing!r}: {result.num_jobs} jobs, "
+          f"{result.moved_jobs()} moved cross-region")
+    print(f"  {'region':<8} {'grid':<6} {'jobs':>5} {'carbon_g':>10} {'ECT':>9}")
+    for name, grid, jobs, carbon_g, ect in result.region_rows():
+        print(f"  {name:<8} {grid:<6} {jobs:>5} {carbon_g:>10.1f} {ect:>9.1f}")
+    print(
+        f"  total {result.total_carbon_g:.1f} g "
+        f"(compute {result.compute_carbon_g:.1f} + "
+        f"transfer {result.transfer_carbon_g:.1f}), "
+        f"ECT {result.ect:.1f}s, avg JCT {result.avg_jct:.1f}s, "
+        f"avg stretch {result.avg_stretch:.2f}"
+    )
+
+
+def _cmd_geo_run(args: argparse.Namespace) -> int:
+    from repro.geo import run_federation
+
+    config = _geo_config(args)
+    if config is None:
+        return 2
+    _print_federation(run_federation(config))
+    return 0
+
+
+def _cmd_geo_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.federation import run_routing_matchup
+    from repro.geo import ROUTING_POLICY_NAMES, compare_federations
+
+    config = _geo_config(args)
+    if config is None:
+        return 2
+    results = run_routing_matchup(config, ROUTING_POLICY_NAMES)
+    base = results[args.baseline]
+    print(
+        f"{'routing':<18} {'carbon_g':>10} {'carbon_red%':>12} "
+        f"{'ECT':>8} {'JCT':>8} {'stretch':>8} {'moved':>6}"
+    )
+    for name, result in results.items():
+        m = compare_federations(result, base)
+        print(
+            f"{name:<18} {result.total_carbon_g:>10.1f} "
+            f"{m.carbon_reduction_pct:>11.1f}% {m.ect_ratio:>8.3f} "
+            f"{m.jct_ratio:>8.3f} {m.stretch_ratio:>8.3f} "
+            f"{result.moved_jobs():>6}"
+        )
+    return 0
+
+
+def _cmd_geo_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        ResultStore,
+        format_geo_report,
+        geo_campaign_report,
+        geo_presets,
+        run_geo_campaign,
+    )
+
+    presets = geo_presets()
+    if args.name not in presets:
+        print(f"unknown geo campaign {args.name!r}; choose from {sorted(presets)}")
+        return 2
+    spec = presets[args.name]
+    store = ResultStore(args.store)
+    print(
+        f"geo campaign {spec.name!r}: {len(spec.trials())} trials "
+        f"({spec.axis_summary()}), store {args.store}"
+    )
+
+    def progress(done: int, total: int, line: str) -> None:
+        if not args.quiet:
+            print(f"[{done:>3}/{total}] {line}")
+
+    run = run_geo_campaign(
+        spec, store, on_progress=progress, workers=args.workers
+    )
+    stats = run.stats
+    print(
+        f"done in {run.wall_time_s:.1f}s: {stats.misses} simulated, "
+        f"{stats.hits} cached, {len(run.failures)} failed"
+    )
+    for record in run.failures:
+        print(f"  FAILED {record.key}: {record.error}")
+    rows = geo_campaign_report(run.records, baseline=spec.baseline)
+    print(format_geo_report(rows, title=f"geo campaign {spec.name!r}"))
+    return 1 if run.failures else 0
+
+
+def _cmd_geo(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_geo_run,
+        "compare": _cmd_geo_compare,
+        "sweep": _cmd_geo_sweep,
+    }
+    return handlers[args.cmd](args)
 
 
 def _cmd_grids(args: argparse.Namespace) -> int:
@@ -412,6 +563,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_target(c, with_exec=False)
     c.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "geo",
+        help="geo-distributed federation: multi-region carbon-aware routing",
+    )
+    geo_sub = p.add_subparsers(dest="cmd", required=True)
+
+    def _add_geo_federation_args(
+        g: argparse.ArgumentParser, with_routing: bool = True
+    ) -> None:
+        g.add_argument(
+            "--regions", default=",".join(GRID_CODES),
+            help="comma-separated grid codes, one region per grid",
+        )
+        if with_routing:
+            g.add_argument(
+                "--routing", default="carbon-forecast",
+                choices=GEO_ROUTING_CHOICES,
+            )
+        g.add_argument(
+            "--scheduler", default="pcaps", choices=SCHEDULER_NAMES,
+            help="intra-cluster scheduler used by every region",
+        )
+        g.add_argument("--executors", type=int, default=10,
+                       help="executors per region")
+        g.add_argument("--jobs", type=int, default=18)
+        g.add_argument("--family", default="tpch", choices=("tpch", "alibaba"))
+        g.add_argument("--interarrival", type=float, default=20.0)
+        g.add_argument("--seed", type=int, default=0)
+        g.add_argument(
+            "--origin", default=None,
+            help="pin every job's origin region (default: seeded uniform)",
+        )
+
+    g = geo_sub.add_parser("run", help="run one federation trial")
+    _add_geo_federation_args(g)
+    g.set_defaults(func=_cmd_geo)
+
+    g = geo_sub.add_parser(
+        "compare",
+        help="all routing policies on the identical workload, normalized",
+    )
+    _add_geo_federation_args(g, with_routing=False)
+    g.add_argument(
+        "--baseline", default="round-robin", choices=GEO_ROUTING_CHOICES
+    )
+    g.set_defaults(func=_cmd_geo)
+
+    g = geo_sub.add_parser(
+        "sweep", help="run a geo campaign preset against the result store"
+    )
+    g.add_argument("name", help="geo campaign preset (geo-smoke, geo-sweep, ...)")
+    g.add_argument("--store", default=DEFAULT_CAMPAIGN_STORE)
+    g.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count; 0/1 = inline)",
+    )
+    g.add_argument("--quiet", action="store_true")
+    g.set_defaults(func=_cmd_geo)
 
     return parser
 

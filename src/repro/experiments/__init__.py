@@ -6,10 +6,18 @@
 :mod:`~repro.experiments.tables` and :mod:`~repro.experiments.figures`
 assemble the normalized rows/series each paper artifact reports;
 :mod:`~repro.experiments.motivation` holds the Fig. 1 motivating example;
-and :mod:`~repro.experiments.perf` times engine throughput across a
-scheduler × job-count grid (``repro perf``, ``BENCH_engine.json``).
+:mod:`~repro.experiments.perf` times engine throughput across a
+scheduler × job-count grid (``repro perf``, ``BENCH_engine.json``); and
+:mod:`~repro.experiments.federation` runs the geo experiments — routing
+matchups over identical workloads and single-region counterfactuals.
 """
 
+from repro.experiments.federation import (
+    run_routing_matchup,
+    scaled_single_region,
+    single_region_carbon_g,
+    single_region_results,
+)
 from repro.experiments.runner import (
     SCHEDULER_NAMES,
     ExperimentConfig,
@@ -44,7 +52,11 @@ __all__ = [
     "motivating_trace",
     "run_experiment",
     "run_matchup",
+    "run_routing_matchup",
     "run_scenario",
+    "scaled_single_region",
+    "single_region_carbon_g",
+    "single_region_results",
     "run_suite",
     "smoke_scenarios",
     "write_report",

@@ -1,0 +1,95 @@
+"""Federation experiments: routing matchups and single-region baselines.
+
+The geo analogue of :mod:`repro.experiments.runner`: a declarative
+:class:`~repro.geo.config.FederationConfig` names one federation trial, and
+the helpers here run the comparisons the geo experiments report — several
+routing policies over the *identical* workload (the spatial version of the
+paper's normalized matchups), and the whole workload on each region alone
+(what a single-cluster deployment in that grid would have emitted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable
+
+from repro.experiments.runner import run_experiment
+from repro.simulator.metrics import ExperimentResult
+
+# repro.geo.config imports repro.experiments.runner, and importing it (or
+# any repro.experiments submodule) initializes this package first — so geo
+# imports here must stay inside function bodies to avoid a circular import
+# when repro.geo is the first module loaded.
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geo.config import FederationConfig
+    from repro.geo.result import FederationResult
+
+
+def run_routing_matchup(
+    config: FederationConfig,
+    routings: Iterable[str] | None = None,
+) -> dict[str, FederationResult]:
+    """Run several routing policies on the identical workload and regions.
+
+    The workload, origins, and per-region traces are all derived from
+    ``config``'s seed, so every policy sees the same arrivals — differences
+    in the results are attributable to routing alone. ``routings`` defaults
+    to every policy in :data:`repro.geo.routing.ROUTING_POLICY_NAMES`.
+    """
+    from repro.geo.federation import run_federation
+    from repro.geo.routing import ROUTING_POLICY_NAMES
+
+    if routings is None:
+        routings = ROUTING_POLICY_NAMES
+    return {
+        routing: run_federation(config.with_routing(routing))
+        for routing in routings
+    }
+
+
+def single_region_results(
+    config: FederationConfig,
+) -> dict[str, ExperimentResult]:
+    """The whole workload on each region's cluster alone, per region.
+
+    The no-federation counterfactual: what a deployment that owns only the
+    ``name`` region's cluster would measure running the entire batch there.
+    Useful as the denominator for "what does spatial shifting buy on top of
+    temporal shifting" comparisons.
+    """
+    out: dict[str, ExperimentResult] = {}
+    for region in config.regions:
+        exp_config = region.to_experiment_config(config.workload, config.seed)
+        out[region.name] = run_experiment(exp_config)
+    return out
+
+
+def single_region_carbon_g(
+    config: FederationConfig,
+) -> dict[str, float]:
+    """Per-region grams for running the whole batch in that region alone."""
+    power = config.executor_power_kw
+    return {
+        name: result.carbon_footprint * power / 3600.0
+        for name, result in single_region_results(config).items()
+    }
+
+
+def scaled_single_region(
+    config: FederationConfig, name: str
+) -> FederationConfig:
+    """A one-region federation over the named member (capacity-matched).
+
+    Keeps the federation workload and seed but concentrates the *total*
+    federated executor count in the named region, so "federated vs. one big
+    cluster in grid X" comparisons hold capacity constant.
+    """
+    index = config.region_index(name)
+    total = sum(r.num_executors for r in config.regions)
+    region = replace(config.regions[index], num_executors=total)
+    return replace(
+        config,
+        regions=(region,),
+        routing="round-robin",
+        origin_region=region.name,
+    )

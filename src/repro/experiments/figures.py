@@ -21,7 +21,7 @@ from repro.experiments.runner import (
 )
 from repro.simulator.metrics import ExperimentResult, compare_to_baseline
 from repro.simulator.trace import busy_executor_series, executor_timeline
-from repro.workloads.batch import WorkloadSpec, build_workload
+from repro.workloads.batch import WorkloadSpec
 
 # ----------------------------------------------------------------------
 # Fig. 5 — carbon-intensity snapshots

@@ -25,6 +25,7 @@ from repro.schedulers.weighted_fair import WeightedFairScheduler
 from repro.simulator.engine import ClusterConfig, Simulation
 from repro.simulator.interfaces import Provisioner, StageScheduler
 from repro.simulator.metrics import ExperimentResult
+from repro.workloads.arrivals import JobSubmission
 from repro.workloads.batch import WorkloadSpec, build_workload
 
 #: Names accepted by :func:`build_scheduler`. ``cap-*`` pairs the CAP
@@ -135,6 +136,34 @@ def _full_synthetic_trace(grid: str) -> CarbonTrace:
     return synthesize_trace(grid, seed=0)
 
 
+@lru_cache(maxsize=256)
+def _memoized_workload(
+    spec: WorkloadSpec, seed: int | None
+) -> tuple[JobSubmission, ...]:
+    """Memoized batch synthesis per ``(spec, seed)``.
+
+    Workload synthesis dominates Decima-scale sweeps (ROADMAP hot spot) and
+    federation/campaign runs re-request the identical batch once per region
+    or per policy. ``build_workload`` is a pure function of ``(spec, seed)``,
+    so the cached tuple is exactly the batch a fresh synthesis would return;
+    submissions are frozen and DAGs are never mutated by the engine, so
+    sharing them across trials is safe. Callers get a fresh list.
+    """
+    return tuple(build_workload(spec, seed=seed))
+
+
+def memoized_workload(
+    spec: WorkloadSpec, seed: int | None = 0
+) -> list[JobSubmission]:
+    """Like :func:`repro.workloads.batch.build_workload`, but memoized."""
+    return list(_memoized_workload(spec, seed))
+
+
+def workload_for(config: ExperimentConfig) -> list[JobSubmission]:
+    """The (memoized) job batch a config names."""
+    return memoized_workload(config.workload, config.seed)
+
+
 def carbon_trace_for(config: ExperimentConfig) -> CarbonTrace:
     """The carbon slice a config names (synthesized deterministically)."""
     return _full_synthetic_trace(config.grid).slice(
@@ -148,7 +177,7 @@ def run_experiment(
 ) -> ExperimentResult:
     """Materialize and run one experiment to completion."""
     trace = carbon_trace if carbon_trace is not None else carbon_trace_for(config)
-    submissions = build_workload(config.workload, seed=config.seed)
+    submissions = workload_for(config)
     scheduler, provisioner = build_scheduler(config, trace)
     cluster = ClusterConfig(
         num_executors=config.num_executors,

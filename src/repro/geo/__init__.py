@@ -1,0 +1,59 @@
+"""Geo-distributed federation: multi-cluster, multi-grid carbon-aware
+scheduling.
+
+The paper schedules within one cluster in one grid region; this subsystem
+adds the spatial dimension. A :class:`Federation` composes N independent
+cluster simulations — each with its own Table-1 grid trace and
+intra-cluster scheduler (FIFO / Decima / PCAPS / CAP) — in one virtual
+timeline, and routes every arriving job through a pluggable
+:class:`RoutingPolicy`. A :class:`TransferModel` prices moving job inputs
+between regions, so spatial carbon shifting competes against network
+footprint instead of being free.
+"""
+
+from repro.geo.config import (
+    DEFAULT_EXECUTOR_POWER_KW,
+    FederationConfig,
+    RegionConfig,
+    TransferModel,
+)
+from repro.geo.federation import Federation, run_federation
+from repro.geo.result import (
+    FederationComparison,
+    FederationResult,
+    RegionResult,
+    RoutingDecision,
+    compare_federations,
+)
+from repro.geo.routing import (
+    ROUTING_POLICY_NAMES,
+    CarbonForecastRouting,
+    CarbonGreedyRouting,
+    QueueAwareRouting,
+    RegionSnapshot,
+    RoundRobinRouting,
+    RoutingPolicy,
+    build_routing_policy,
+)
+
+__all__ = [
+    "DEFAULT_EXECUTOR_POWER_KW",
+    "FederationConfig",
+    "RegionConfig",
+    "TransferModel",
+    "Federation",
+    "run_federation",
+    "FederationComparison",
+    "FederationResult",
+    "RegionResult",
+    "RoutingDecision",
+    "compare_federations",
+    "ROUTING_POLICY_NAMES",
+    "CarbonForecastRouting",
+    "CarbonGreedyRouting",
+    "QueueAwareRouting",
+    "RegionSnapshot",
+    "RoundRobinRouting",
+    "RoutingPolicy",
+    "build_routing_policy",
+]

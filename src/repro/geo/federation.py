@@ -1,0 +1,183 @@
+"""The federation engine: N cluster simulations in one virtual timeline.
+
+The :class:`Federation` coordinator owns one
+:class:`~repro.simulator.engine.SimulationStepper` per region and advances
+them in event-time lockstep: before each global job arrival every regional
+engine is advanced to (just before) the arrival instant, the routing policy
+inspects one fresh :class:`~repro.geo.routing.RegionSnapshot` per region,
+and the job is injected into the chosen region's event stream. After the
+last arrival each region drains independently — there are no further
+cross-region interactions to order.
+
+Every source of randomness (workload synthesis, per-region scheduler
+sampling, origin assignment) is seeded from the
+:class:`~repro.geo.config.FederationConfig`, so a pinned config reproduces
+byte-identical routing decisions and carbon totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.dag.metrics import critical_path_length
+from repro.experiments.runner import (
+    build_scheduler,
+    carbon_trace_for,
+    memoized_workload,
+)
+from repro.geo.config import FederationConfig, RegionConfig
+from repro.geo.result import FederationResult, RegionResult, RoutingDecision
+from repro.geo.routing import RegionSnapshot, build_routing_policy
+from repro.simulator.engine import ClusterConfig, Simulation, SimulationStepper
+from repro.workloads.arrivals import JobSubmission
+
+#: Salt mixed into the origin-assignment RNG so origins are independent of
+#: the workload stream drawn from the same seed.
+_ORIGIN_SEED_SALT = 0x6E0
+
+
+class _Region:
+    """One member cluster: its simulation plus the identity around it."""
+
+    def __init__(self, index: int, spec: RegionConfig, config: FederationConfig):
+        self.index = index
+        self.spec = spec
+        exp_config = spec.to_experiment_config(config.workload, config.seed)
+        self.trace = carbon_trace_for(exp_config)
+        scheduler, provisioner = build_scheduler(exp_config, self.trace)
+        cluster = ClusterConfig(
+            num_executors=spec.num_executors,
+            executor_move_delay=spec.executor_move_delay,
+            per_job_executor_cap=(
+                spec.per_job_cap if spec.mode == "kubernetes" else None
+            ),
+            mode=spec.mode,
+        )
+        self.api = CarbonIntensityAPI(self.trace)
+        self.sim = Simulation(
+            config=cluster,
+            scheduler=scheduler,
+            carbon_api=self.api,
+            provisioner=provisioner,
+        )
+        self.stepper: SimulationStepper | None = None
+
+    def start(self) -> None:
+        self.stepper = self.sim.stepper()
+
+    def snapshot(self, t: float) -> RegionSnapshot:
+        low, high = self.api.bounds(t)
+        return RegionSnapshot(
+            index=self.index,
+            name=self.spec.name,
+            grid=self.spec.grid,
+            time=t,
+            total_executors=self.spec.num_executors,
+            busy_executors=self.stepper.busy_executors,
+            queued_jobs=self.stepper.queued_jobs,
+            outstanding_work=self.stepper.outstanding_work(),
+            carbon_intensity=self.api.intensity(t),
+            forecast_low=low,
+            forecast_high=high,
+        )
+
+
+class Federation:
+    """Run one federation trial to completion.
+
+    Usage::
+
+        result = Federation(FederationConfig.six_grid()).run()
+
+    The coordinator is re-runnable: each :meth:`run` rebuilds fresh
+    steppers, so a second run replays identically (the same guarantee the
+    single-cluster :meth:`Simulation.run` gives).
+    """
+
+    def __init__(self, config: FederationConfig) -> None:
+        self.config = config
+        self.regions = [
+            _Region(i, spec, config) for i, spec in enumerate(config.regions)
+        ]
+
+    # ------------------------------------------------------------------
+    def _origins(self, submissions: list[JobSubmission]) -> list[int]:
+        """Per-job origin region indices (seeded, or pinned by config)."""
+        if self.config.origin_region is not None:
+            fixed = self.config.region_index(self.config.origin_region)
+            return [fixed] * len(submissions)
+        rng = np.random.default_rng((self.config.seed, _ORIGIN_SEED_SALT))
+        return [
+            int(v)
+            for v in rng.integers(len(self.regions), size=len(submissions))
+        ]
+
+    def run(self) -> FederationResult:
+        config = self.config
+        submissions = memoized_workload(config.workload, config.seed)
+        origins = self._origins(submissions)
+        policy = build_routing_policy(
+            config.routing, config.transfer, config.executor_power_kw
+        )
+        policy.reset()
+        for region in self.regions:
+            region.start()
+
+        names = config.region_names()
+        decisions: list[RoutingDecision] = []
+        for sub, origin in zip(submissions, origins):
+            t = sub.arrival_time
+            # Event-time lockstep: every region catches up to the arrival
+            # instant before the policy looks at it.
+            for region in self.regions:
+                region.stepper.advance_until(t)
+            snapshots = [region.snapshot(t) for region in self.regions]
+            choice = policy.route(sub, origin, snapshots)
+            if not 0 <= choice < len(self.regions):
+                raise ValueError(
+                    f"routing policy {policy.name!r} returned invalid "
+                    f"region index {choice}"
+                )
+            transfer_g = config.transfer.transfer_carbon_g(
+                sub.dag,
+                snapshots[origin].carbon_intensity,
+                snapshots[choice].carbon_intensity,
+                same_region=origin == choice,
+            )
+            self.regions[choice].stepper.submit(sub)
+            decisions.append(
+                RoutingDecision(
+                    job_id=sub.job_id,
+                    time=t,
+                    origin=names[origin],
+                    region=names[choice],
+                    transfer_g=transfer_g,
+                    job_work=sub.dag.total_work,
+                    job_critical_path=critical_path_length(sub.dag),
+                )
+            )
+
+        # No more cross-region interactions: drain each region to the end.
+        region_results = []
+        for region in self.regions:
+            region.stepper.run_to_completion()
+            region_results.append(
+                RegionResult(
+                    name=region.spec.name,
+                    grid=region.spec.grid,
+                    num_executors=region.spec.num_executors,
+                    result=region.stepper.result(),
+                )
+            )
+        return FederationResult(
+            routing=config.routing,
+            regions=region_results,
+            decisions=decisions,
+            executor_power_kw=config.executor_power_kw,
+        )
+
+
+def run_federation(config: FederationConfig) -> FederationResult:
+    """Build and run one federation trial (the one-call entry point)."""
+    return Federation(config).run()

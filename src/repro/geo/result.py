@@ -1,0 +1,201 @@
+"""Federation results: per-region measurements rolled up to global metrics.
+
+A :class:`FederationResult` aggregates N per-region
+:class:`~repro.simulator.metrics.ExperimentResult` objects plus the routing
+log into the global quantities the geo experiments report: total carbon in
+grams (compute, priced per region's own trace, plus inter-region transfer),
+batch runtime (global ECT), mean JCT, and mean stretch (JCT over the job's
+ideal isolated runtime in its assigned region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.config import DEFAULT_EXECUTOR_POWER_KW
+from repro.simulator.metrics import ExperimentResult
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One job's routing outcome, recorded at its arrival."""
+
+    job_id: int
+    time: float
+    origin: str
+    region: str
+    transfer_g: float
+    job_work: float
+    job_critical_path: float
+
+    @property
+    def moved(self) -> bool:
+        return self.origin != self.region
+
+
+@dataclass(frozen=True)
+class RegionResult:
+    """One region's identity plus its single-cluster measurements."""
+
+    name: str
+    grid: str
+    num_executors: int
+    result: ExperimentResult
+
+    @property
+    def num_jobs(self) -> int:
+        return self.result.num_jobs
+
+
+@dataclass
+class FederationResult:
+    """Everything measured from one federation trial."""
+
+    routing: str
+    regions: list[RegionResult]
+    decisions: list[RoutingDecision]
+    executor_power_kw: float = DEFAULT_EXECUTOR_POWER_KW
+    _total_cache: float | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Job-level aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def arrivals(self) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for region in self.regions:
+            out.update(region.result.arrivals)
+        return out
+
+    @property
+    def finishes(self) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for region in self.regions:
+            out.update(region.result.finishes)
+        return out
+
+    @property
+    def job_completion_times(self) -> dict[int, float]:
+        finishes = self.finishes
+        return {
+            job_id: finishes[job_id] - arrival
+            for job_id, arrival in self.arrivals.items()
+        }
+
+    @property
+    def avg_jct(self) -> float:
+        jcts = list(self.job_completion_times.values())
+        return float(np.mean(jcts)) if jcts else 0.0
+
+    @property
+    def ect(self) -> float:
+        """Global end-to-end completion time: last finish anywhere."""
+        return max((r.result.ect for r in self.regions), default=0.0)
+
+    @property
+    def avg_stretch(self) -> float:
+        """Mean JCT over the job's ideal runtime in its assigned region.
+
+        The ideal is the classic makespan lower bound,
+        ``max(critical path, work / K_region)`` — a stretch of 1 means the
+        job ran alone on an empty cluster with no queueing or deferral.
+        """
+        jcts = self.job_completion_times
+        executors = {r.name: r.num_executors for r in self.regions}
+        stretches = []
+        for d in self.decisions:
+            ideal = max(d.job_critical_path, d.job_work / executors[d.region])
+            if ideal > 0:
+                stretches.append(jcts[d.job_id] / ideal)
+        return float(np.mean(stretches)) if stretches else 0.0
+
+    # ------------------------------------------------------------------
+    # Carbon accounting
+    # ------------------------------------------------------------------
+    @property
+    def compute_carbon_g(self) -> float:
+        """Grams from execution, each region priced by its own trace."""
+        return sum(
+            r.result.carbon_footprint * self.executor_power_kw / 3600.0
+            for r in self.regions
+        )
+
+    @property
+    def transfer_carbon_g(self) -> float:
+        """Grams from shipping job inputs between regions."""
+        return sum(d.transfer_g for d in self.decisions)
+
+    @property
+    def total_carbon_g(self) -> float:
+        if self._total_cache is None:
+            self._total_cache = self.compute_carbon_g + self.transfer_carbon_g
+        return self._total_cache
+
+    # ------------------------------------------------------------------
+    # Distribution views
+    # ------------------------------------------------------------------
+    def jobs_per_region(self) -> dict[str, int]:
+        counts = {r.name: 0 for r in self.regions}
+        for d in self.decisions:
+            counts[d.region] += 1
+        return counts
+
+    def moved_jobs(self) -> int:
+        """Jobs routed away from their origin region."""
+        return sum(1 for d in self.decisions if d.moved)
+
+    def region_rows(self) -> list[tuple[str, str, int, float, float]]:
+        """``(name, grid, jobs, carbon_g, ect)`` per region, for tables."""
+        counts = self.jobs_per_region()
+        return [
+            (
+                r.name,
+                r.grid,
+                counts[r.name],
+                r.result.carbon_footprint * self.executor_power_kw / 3600.0,
+                r.result.ect,
+            )
+            for r in self.regions
+        ]
+
+
+@dataclass(frozen=True)
+class FederationComparison:
+    """One routing policy's metrics normalized to a baseline policy."""
+
+    routing: str
+    baseline: str
+    carbon_reduction_pct: float  # positive = less total carbon than baseline
+    ect_ratio: float
+    jct_ratio: float
+    stretch_ratio: float
+
+
+def compare_federations(
+    result: FederationResult, baseline: FederationResult
+) -> FederationComparison:
+    """Normalize one federation result against another (same workload)."""
+    base_carbon = baseline.total_carbon_g
+    base_ect = baseline.ect
+    base_jct = baseline.avg_jct
+    base_stretch = baseline.avg_stretch
+    return FederationComparison(
+        routing=result.routing,
+        baseline=baseline.routing,
+        carbon_reduction_pct=(
+            100.0 * (1.0 - result.total_carbon_g / base_carbon)
+            if base_carbon > 0
+            else 0.0
+        ),
+        ect_ratio=result.ect / base_ect if base_ect > 0 else 1.0,
+        jct_ratio=result.avg_jct / base_jct if base_jct > 0 else 1.0,
+        stretch_ratio=(
+            result.avg_stretch / base_stretch if base_stretch > 0 else 1.0
+        ),
+    )

@@ -252,203 +252,307 @@ class Simulation:
         self._seq = itertools.count()
 
     # ------------------------------------------------------------------
+    def stepper(self) -> "SimulationStepper":
+        """An incremental driver over this simulation's event loop.
+
+        Resets the scheduler, provisioner, and event tie-break counter, so a
+        fresh stepper replays exactly like a fresh :meth:`run`. Used by the
+        federation coordinator (:mod:`repro.geo`), which interleaves several
+        engines in one virtual timeline and injects jobs between events.
+        """
+        return SimulationStepper(self)
+
     def run(self, submissions: Sequence[JobSubmission]) -> ExperimentResult:
         """Simulate the batch to completion and return the measurements."""
         if not submissions:
             raise ValueError("need at least one job submission")
-        self.scheduler.reset()
-        if self.provisioner is not None:
-            self.provisioner.reset()
-        # Restart the event tie-break counter so a second run() on the same
-        # Simulation replays the identical heap ordering as the first.
-        self._seq = itertools.count()
+        stepper = self.stepper()
+        for sub in submissions:
+            stepper.submit(sub)
+        stepper.run_to_completion()
+        return stepper.result()
 
-        jobs: dict[int, JobRuntime] = {}
+
+class SimulationStepper:
+    """Resumable event loop of one :class:`Simulation`.
+
+    Splits :meth:`Simulation.run` into three verbs so a coordinator can
+    interleave several engines in event time:
+
+    - :meth:`submit` enqueues a job arrival (any time before its timestamp);
+    - :meth:`advance_until` processes every event strictly before ``t``;
+    - :meth:`run_to_completion` drains the remaining events.
+
+    Submitting every job up front and draining is *exactly* ``run()`` — the
+    event heap, tie-break sequence, and per-timestamp processing are shared,
+    so single-cluster results are bit-identical whichever path built them.
+
+    The stepper also exposes the occupancy aggregates routing policies read
+    between events (:attr:`busy_executors`, :attr:`queued_jobs`,
+    :meth:`outstanding_work`).
+    """
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        sim.scheduler.reset()
+        if sim.provisioner is not None:
+            sim.provisioner.reset()
+        # Restart the event tie-break counter so a second run()/stepper on
+        # the same Simulation replays the identical heap ordering.
+        sim._seq = itertools.count()
+
+        self.jobs: dict[int, JobRuntime] = {}
         # Not-yet-finished jobs in arrival order: arrival events insert (the
         # heap pops them in time order), completions delete, so every
         # ClusterView reuses this mapping instead of re-sorting all jobs.
-        active: dict[int, JobRuntime] = {}
-        pool = _ExecutorPool(self.config.num_executors)
-        trace = ScheduleTrace(
-            total_executors=self.config.num_executors,
-            idle_power_fraction=self.config.idle_power_fraction,
+        self.active: dict[int, JobRuntime] = {}
+        self.pool = _ExecutorPool(sim.config.num_executors)
+        self.trace = ScheduleTrace(
+            total_executors=sim.config.num_executors,
+            idle_power_fraction=sim.config.idle_power_fraction,
         )
-        events: list[tuple[float, int, int, tuple]] = []
-        sched_time = 0.0
-        sched_calls = 0
-        events_processed = 0
-        holds = self.scheduler.holds_executors
+        self.events: list[tuple[float, int, int, tuple]] = []
+        self.sched_time = 0.0
+        self.sched_calls = 0
+        self.events_processed = 0
+        self.holds = sim.scheduler.holds_executors
         # First grant time per executor, indexed by job, for HoldRecord
         # emission on job completion (no all-pairs scan).
-        first_take: dict[int, dict[int, float]] = {}
+        self.first_take: dict[int, dict[int, float]] = {}
+        self._carbon_event_at: float | None = None
+        self._submitted = 0
+        self._pending_arrivals = 0
+        self._pending_work = 0.0
+        # Shared per-job ready-stage cache, reused across consecutive views
+        # while no launch/finish touched the job (see ClusterView).
+        self._ready_cache: dict[tuple[int, bool], tuple] = {}
 
-        def push(t: float, kind: int, payload: tuple = ()) -> None:
-            heapq.heappush(events, (t, next(self._seq), kind, payload))
+    # -- job intake -----------------------------------------------------
+    def submit(self, sub: JobSubmission) -> None:
+        """Enqueue one job arrival. Must precede its arrival timestamp."""
+        self._push(sub.arrival_time, _ARRIVAL, (sub,))
+        self._submitted += 1
+        self._pending_arrivals += 1
+        self._pending_work += sub.dag.total_work
 
-        for sub in submissions:
-            push(sub.arrival_time, _ARRIVAL, (sub,))
-        pending_arrivals = len(submissions)
-        carbon_event_at: float | None = None
+    def _push(self, t: float, kind: int, payload: tuple = ()) -> None:
+        heapq.heappush(self.events, (t, next(self.sim._seq), kind, payload))
 
-        while events:
-            now = events[0][0]
-            if self.max_time is not None and now > self.max_time:
-                raise RuntimeError(
-                    f"simulation exceeded max_time={self.max_time}; "
-                    f"scheduler {self.scheduler.name!r} may not be making progress"
-                )
-            # Drain every event at this timestamp before scheduling.
-            while events and events[0][0] == now:
-                _, _, kind, payload = heapq.heappop(events)
-                events_processed += 1
-                if kind == _ARRIVAL:
-                    sub = payload[0]
-                    job = JobRuntime(
-                        job_id=sub.job_id, dag=sub.dag, arrival_time=now
-                    )
-                    jobs[sub.job_id] = job
-                    active[sub.job_id] = job
-                    pending_arrivals -= 1
-                elif kind == _TASK_DONE:
-                    job_id, stage_id, executor_id = payload
-                    job_done = jobs[job_id].record_task_finish(stage_id, now)
-                    pool.release(executor_id, job_id, hold=holds and not job_done)
-                    if job_done:
-                        del active[job_id]
-                        if holds:
-                            # Close the job's hold intervals, free its roster.
-                            pool.unreserve(job_id)
-                            for eid, start in first_take.pop(job_id, {}).items():
-                                trace.add_hold(
-                                    HoldRecord(
-                                        job_id=job_id,
-                                        executor_id=eid,
-                                        start=start,
-                                        end=now,
-                                    )
-                                )
-                elif kind == _CARBON_STEP:
-                    carbon_event_at = None
+    # -- introspection (routing policies) -------------------------------
+    @property
+    def busy_executors(self) -> int:
+        return self.sim.config.num_executors - self.pool.free_count
 
-            # Assignment pass.
-            reading = self.carbon_api.reading(now)
-            busy = self.config.num_executors - pool.free_count
-            quota = self.config.num_executors
-            if self.provisioner is not None:
-                pre_view = ClusterView(
-                    time=now,
-                    total_executors=self.config.num_executors,
-                    busy_executors=busy,
-                    quota=quota,
-                    jobs=jobs,
-                    carbon=reading,
-                    per_job_cap=self.config.per_job_executor_cap,
-                    general_free=pool.general_free,
-                    reserved_free=pool.reserved_counts(),
-                    active=active,
-                )
-                quota = max(1, min(self.provisioner.quota(pre_view), quota))
-            trace.add_quota(now, quota)
+    @property
+    def queued_jobs(self) -> int:
+        """Jobs in the system: arrived-but-unfinished plus submitted."""
+        return len(self.active) + self._pending_arrivals
 
-            blocked: set[tuple[int, int]] = set()
-            while pool.free_count > 0 and busy < quota:
-                view = ClusterView(
-                    time=now,
-                    total_executors=self.config.num_executors,
-                    busy_executors=busy,
-                    quota=quota,
-                    jobs=jobs,
-                    carbon=reading,
-                    per_job_cap=self.config.per_job_executor_cap,
-                    blocked=frozenset(blocked),
-                    general_free=pool.general_free,
-                    reserved_free=pool.reserved_counts(),
-                    active=active,
+    def outstanding_work(self) -> float:
+        """Executor-seconds not yet finished (active + pending arrivals)."""
+        return self._pending_work + sum(
+            job.remaining_work() for job in self.active.values()
+        )
+
+    def next_event_time(self) -> float | None:
+        return self.events[0][0] if self.events else None
+
+    # -- the loop -------------------------------------------------------
+    def advance_until(self, t: float) -> None:
+        """Process every event with timestamp strictly before ``t``."""
+        while self.events and self.events[0][0] < t:
+            self.step()
+
+    def run_to_completion(self) -> None:
+        while self.events:
+            self.step()
+
+    def step(self) -> float:
+        """Drain one timestamp's events and run the assignment pass."""
+        sim = self.sim
+        config = sim.config
+        events = self.events
+        jobs = self.jobs
+        active = self.active
+        pool = self.pool
+        trace = self.trace
+        holds = self.holds
+        first_take = self.first_take
+
+        now = events[0][0]
+        if sim.max_time is not None and now > sim.max_time:
+            raise RuntimeError(
+                f"simulation exceeded max_time={sim.max_time}; "
+                f"scheduler {sim.scheduler.name!r} may not be making progress"
+            )
+        # Drain every event at this timestamp before scheduling.
+        while events and events[0][0] == now:
+            _, _, kind, payload = heapq.heappop(events)
+            self.events_processed += 1
+            if kind == _ARRIVAL:
+                sub = payload[0]
+                job = JobRuntime(
+                    job_id=sub.job_id, dag=sub.dag, arrival_time=now
                 )
-                if not view.has_assignable():
-                    break
-                if self.measure_latency:
-                    t0 = _wallclock.perf_counter()
-                    choice = self.scheduler.select(view)
-                    sched_time += _wallclock.perf_counter() - t0
-                    sched_calls += 1
-                else:
-                    choice = self.scheduler.select(view)
-                if choice is None:
-                    trace.deferrals += 1
-                    break
-                job = jobs[choice.job_id]
-                runtime = job.stages[choice.stage_id]
-                limit = (
-                    choice.parallelism_limit
-                    if choice.parallelism_limit is not None
-                    else runtime.stage.num_tasks
-                )
-                if self.provisioner is not None:
-                    limit = self.provisioner.scale_parallelism(limit, view)
-                limit = max(1, limit)
-                assignable = min(
-                    pool.free_for(choice.job_id),
-                    quota - busy,
-                    runtime.unlaunched,
-                    limit - runtime.running,
-                )
-                if self.config.per_job_executor_cap is not None:
-                    assignable = min(
-                        assignable,
-                        self.config.per_job_executor_cap - job.executors_in_use,
-                    )
-                if assignable <= 0:
-                    blocked.add((choice.job_id, choice.stage_id))
-                    continue
-                for _ in range(assignable):
-                    executor_id, needs_move = pool.take(choice.job_id)
+                jobs[sub.job_id] = job
+                active[sub.job_id] = job
+                self._pending_arrivals -= 1
+                self._pending_work -= sub.dag.total_work
+            elif kind == _TASK_DONE:
+                job_id, stage_id, executor_id = payload
+                job_done = jobs[job_id].record_task_finish(stage_id, now)
+                pool.release(executor_id, job_id, hold=holds and not job_done)
+                if job_done:
+                    del active[job_id]
+                    # None disables the shared cache (equivalence tests
+                    # replace it to prove results don't depend on it).
+                    if self._ready_cache is not None:
+                        self._ready_cache.pop((job_id, False), None)
+                        self._ready_cache.pop((job_id, True), None)
                     if holds:
-                        first_take.setdefault(choice.job_id, {}).setdefault(
-                            executor_id, now
-                        )
-                    delay = (
-                        self.config.executor_move_delay if needs_move else 0.0
-                    )
-                    task_index = runtime.launched
-                    runtime.launch(1)
-                    start = now
-                    work_start = now + delay
-                    end = work_start + runtime.stage.task_duration
-                    trace.add_task(
-                        TaskRecord(
-                            job_id=choice.job_id,
-                            stage_id=choice.stage_id,
-                            task_index=task_index,
-                            executor_id=executor_id,
-                            start=start,
-                            work_start=work_start,
-                            end=end,
-                        )
-                    )
-                    push(end, _TASK_DONE, (choice.job_id, choice.stage_id, executor_id))
-                    busy += 1
+                        # Close the job's hold intervals, free its roster.
+                        pool.unreserve(job_id)
+                        for eid, start in first_take.pop(job_id, {}).items():
+                            trace.add_hold(
+                                HoldRecord(
+                                    job_id=job_id,
+                                    executor_id=eid,
+                                    start=start,
+                                    end=now,
+                                )
+                            )
+            elif kind == _CARBON_STEP:
+                self._carbon_event_at = None
 
-            # Keep carbon steps flowing while any work is outstanding, so
-            # deferrals always have a future scheduling event to wake on.
-            outstanding = pending_arrivals > 0 or bool(active)
-            if outstanding and carbon_event_at is None:
-                carbon_event_at = self.carbon_api.trace.next_change_after(now)
-                push(carbon_event_at, _CARBON_STEP)
+        # Assignment pass.
+        reading = sim.carbon_api.reading(now)
+        busy = config.num_executors - pool.free_count
+        quota = config.num_executors
+        if sim.provisioner is not None:
+            pre_view = ClusterView(
+                time=now,
+                total_executors=config.num_executors,
+                busy_executors=busy,
+                quota=quota,
+                jobs=jobs,
+                carbon=reading,
+                per_job_cap=config.per_job_executor_cap,
+                general_free=pool.general_free,
+                reserved_free=pool.reserved_counts(),
+                active=active,
+                ready_cache=self._ready_cache,
+            )
+            quota = max(1, min(sim.provisioner.quota(pre_view), quota))
+        trace.add_quota(now, quota)
 
+        blocked: set[tuple[int, int]] = set()
+        while pool.free_count > 0 and busy < quota:
+            view = ClusterView(
+                time=now,
+                total_executors=config.num_executors,
+                busy_executors=busy,
+                quota=quota,
+                jobs=jobs,
+                carbon=reading,
+                per_job_cap=config.per_job_executor_cap,
+                blocked=frozenset(blocked),
+                general_free=pool.general_free,
+                reserved_free=pool.reserved_counts(),
+                active=active,
+                ready_cache=self._ready_cache,
+            )
+            if not view.has_assignable():
+                break
+            if sim.measure_latency:
+                t0 = _wallclock.perf_counter()
+                choice = sim.scheduler.select(view)
+                self.sched_time += _wallclock.perf_counter() - t0
+                self.sched_calls += 1
+            else:
+                choice = sim.scheduler.select(view)
+            if choice is None:
+                trace.deferrals += 1
+                break
+            job = jobs[choice.job_id]
+            runtime = job.stages[choice.stage_id]
+            limit = (
+                choice.parallelism_limit
+                if choice.parallelism_limit is not None
+                else runtime.stage.num_tasks
+            )
+            if sim.provisioner is not None:
+                limit = sim.provisioner.scale_parallelism(limit, view)
+            limit = max(1, limit)
+            assignable = min(
+                pool.free_for(choice.job_id),
+                quota - busy,
+                runtime.unlaunched,
+                limit - runtime.running,
+            )
+            if config.per_job_executor_cap is not None:
+                assignable = min(
+                    assignable,
+                    config.per_job_executor_cap - job.executors_in_use,
+                )
+            if assignable <= 0:
+                blocked.add((choice.job_id, choice.stage_id))
+                continue
+            for _ in range(assignable):
+                executor_id, needs_move = pool.take(choice.job_id)
+                if holds:
+                    first_take.setdefault(choice.job_id, {}).setdefault(
+                        executor_id, now
+                    )
+                delay = (
+                    config.executor_move_delay if needs_move else 0.0
+                )
+                task_index = runtime.launched
+                runtime.launch(1)
+                start = now
+                work_start = now + delay
+                end = work_start + runtime.stage.task_duration
+                trace.add_task(
+                    TaskRecord(
+                        job_id=choice.job_id,
+                        stage_id=choice.stage_id,
+                        task_index=task_index,
+                        executor_id=executor_id,
+                        start=start,
+                        work_start=work_start,
+                        end=end,
+                    )
+                )
+                self._push(
+                    end, _TASK_DONE, (choice.job_id, choice.stage_id, executor_id)
+                )
+                busy += 1
+
+        # Keep carbon steps flowing while any work is outstanding, so
+        # deferrals always have a future scheduling event to wake on.
+        outstanding = self._pending_arrivals > 0 or bool(active)
+        if outstanding and self._carbon_event_at is None:
+            self._carbon_event_at = sim.carbon_api.trace.next_change_after(now)
+            self._push(self._carbon_event_at, _CARBON_STEP)
+        return now
+
+    # -- finalization ---------------------------------------------------
+    def result(self) -> ExperimentResult:
+        """Measurements for everything submitted so far (all must be done)."""
+        jobs = self.jobs
         unfinished = [job_id for job_id, job in jobs.items() if not job.done]
-        if unfinished or len(jobs) != len(submissions):
-            raise RuntimeError(f"simulation ended with unfinished jobs: {unfinished}")
-
+        if unfinished or len(jobs) != self._submitted:
+            raise RuntimeError(
+                f"simulation ended with unfinished jobs: {unfinished}"
+            )
         return ExperimentResult(
-            scheduler_name=self.scheduler.name,
-            trace=trace,
-            carbon_trace=self.carbon_api.trace,
+            scheduler_name=self.sim.scheduler.name,
+            trace=self.trace,
+            carbon_trace=self.sim.carbon_api.trace,
             arrivals={job_id: job.arrival_time for job_id, job in jobs.items()},
             finishes={job_id: job.finish_time for job_id, job in jobs.items()},
-            scheduler_time_s=sched_time,
-            scheduler_invocations=sched_calls,
-            events_processed=events_processed,
+            scheduler_time_s=self.sched_time,
+            scheduler_invocations=self.sched_calls,
+            events_processed=self.events_processed,
         )
 
 

@@ -140,6 +140,16 @@ class JobRuntime:
         return self.finish_time is not None
 
     @property
+    def task_version(self) -> int:
+        """Monotone counter bumped on every task launch/finish.
+
+        Two reads with equal versions are guaranteed to observe identical
+        per-stage counters and an identical frontier — the dirty-mark the
+        engine's shared ready-stage cache keys on.
+        """
+        return self._task_version
+
+    @property
     def executors_in_use(self) -> int:
         return self._running_total
 
@@ -265,6 +275,7 @@ class ClusterView:
         general_free: int | None = None,
         reserved_free: dict[int, int] | None = None,
         active: Mapping[int, JobRuntime] | None = None,
+        ready_cache: dict[tuple[int, bool], tuple] | None = None,
     ) -> None:
         self.time = time
         self.total_executors = total_executors
@@ -279,6 +290,13 @@ class ClusterView:
         #: means "derive from ``jobs``" — the slow path for hand-built views.
         self._active = active
         self._ready_cache: dict[bool, list[ReadyStage]] = {}
+        #: Engine-owned per-job entry cache, shared across consecutive views
+        #: of one run. Keyed by ``(job_id, include_saturated)``; each value
+        #: is ``(task_version, effective_cap, saturation, entries)``. A job
+        #: untouched by launches/finishes whose executor budget is unchanged
+        #: (or saturating, see ready_stages) reuses its entry list verbatim
+        #: instead of re-walking its frontier.
+        self._shared_ready = ready_cache
         #: Executors in the shared pool (any job may take these). Under
         #: hoarding semantics idle-but-bound executors are *not* here.
         self.general_free = (
@@ -330,12 +348,15 @@ class ClusterView:
         if cached is not None:
             return cached
         out: list[ReadyStage] = []
-        append = out.append
         quota_room = max(0, self.quota - self.busy_executors)
         general_free = self.general_free
         reserved_free = self.reserved_free
         blocked = self._blocked
         per_job_cap = self.per_job_cap
+        # The shared cache is only sound when no entries are suppressed by
+        # the per-pass blocked set (a rare state: the engine could not grow
+        # a chosen stage); fall back to a plain walk then.
+        shared = self._shared_ready if not blocked else None
         for job in self.active_jobs():
             job_id = job.job_id
             job_pool = general_free + (
@@ -349,6 +370,29 @@ class ClusterView:
             )
             if job_headroom < 0:
                 job_headroom = 0
+            # Every field of an entry is a function of the job's task
+            # counters (captured by task_version) and min(budget, headroom)
+            # (captured by effective_cap) — so an unchanged pair means the
+            # previously built entries are the identical tuples a fresh
+            # walk would produce. The cap only enters through clamping
+            # (slots = min(unlaunched, cap)), so two caps that both meet or
+            # exceed every unlaunched count in the frontier (the stored
+            # saturation point) also yield identical entries.
+            effective_cap = budget if budget < job_headroom else job_headroom
+            if shared is not None:
+                hit = shared.get((job_id, include_saturated))
+                if (
+                    hit is not None
+                    and hit[0] == job.task_version
+                    and (
+                        hit[1] == effective_cap
+                        or (hit[1] >= hit[2] and effective_cap >= hit[2])
+                    )
+                ):
+                    out.extend(hit[3])
+                    continue
+            entries: list[ReadyStage] = []
+            append = entries.append
             stages = job.stages
             for sid in job.ready_stage_ids(include_running=include_saturated):
                 if blocked and (job_id, sid) in blocked:
@@ -374,6 +418,14 @@ class ClusterView:
                         slots,
                     )
                 )
+            if shared is not None:
+                saturation = max(
+                    (entry.unlaunched for entry in entries), default=0
+                )
+                shared[(job_id, include_saturated)] = (
+                    job.task_version, effective_cap, saturation, entries,
+                )
+            out.extend(entries)
         self._ready_cache[include_saturated] = out
         return out
 

@@ -31,8 +31,10 @@ from repro.experiments.runner import (
     ExperimentConfig,
     build_scheduler,
     carbon_trace_for,
+    memoized_workload,
     run_experiment,
     run_matchup,
+    workload_for,
 )
 from repro.experiments.tables import (
     format_metric_table,
@@ -259,3 +261,40 @@ class TestFigures:
         assert len(rows) == 4
         assert all(r.avg_latency_ms >= 0 for r in rows)
         assert all(r.invocations > 0 for r in rows)
+
+
+class TestWorkloadMemoization:
+    """The per-(spec, seed) synthesis LRU behind federation/campaign sweeps."""
+
+    def test_matches_fresh_synthesis(self):
+        from repro.workloads.batch import build_workload
+
+        spec = WorkloadSpec(num_jobs=5, tpch_scales=(2,))
+        cached = memoized_workload(spec, seed=11)
+        fresh = build_workload(spec, seed=11)
+        assert [s.job_id for s in cached] == [s.job_id for s in fresh]
+        assert [s.arrival_time for s in cached] == [s.arrival_time for s in fresh]
+        assert [s.dag.total_work for s in cached] == [
+            s.dag.total_work for s in fresh
+        ]
+
+    def test_repeated_requests_share_submissions(self):
+        spec = WorkloadSpec(num_jobs=4, tpch_scales=(2,))
+        first = memoized_workload(spec, seed=12)
+        second = memoized_workload(spec, seed=12)
+        assert first is not second  # fresh list per caller
+        assert all(a is b for a, b in zip(first, second))  # cached contents
+
+    def test_distinct_seeds_do_not_collide(self):
+        spec = WorkloadSpec(num_jobs=4, tpch_scales=(2,))
+        a = memoized_workload(spec, seed=1)
+        b = memoized_workload(spec, seed=2)
+        assert [s.arrival_time for s in a] != [s.arrival_time for s in b]
+
+    def test_workload_for_uses_config_fields(self):
+        config = ExperimentConfig(
+            workload=WorkloadSpec(num_jobs=3, tpch_scales=(2,)), seed=6
+        )
+        subs = workload_for(config)
+        assert len(subs) == 3
+        assert subs == memoized_workload(config.workload, 6)
