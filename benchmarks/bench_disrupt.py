@@ -1,0 +1,210 @@
+"""Disruption resilience figure: failover routing vs. riding out the outage.
+
+A pinned scenario — the six-grid federation under a fixed schedule that
+takes ON (the clean hydro grid carbon-aware routing concentrates work in)
+down mid-batch, curtails DE, and blacks out CAISO's carbon signal — run
+three ways on the identical workload:
+
+- ``undisrupted``: the schedule removed (the ceiling);
+- ``no-failover``: disruptions hit, nothing reacts — jobs queued in the
+  down region wait for recovery;
+- ``failover``: arrivals divert around down regions and queued jobs
+  migrate out at each outage, paying transfer carbon.
+
+The acceptance gate is the subsystem's headline claim: under the common
+deadline (1.25x the undisrupted ECT) failover completes at least as many
+jobs as the no-failover baseline, and the carbon price paid for that
+resilience is reported explicitly.
+
+Dual-use:
+
+- ``python benchmarks/bench_disrupt.py [--smoke]`` runs standalone and
+  writes ``BENCH_disrupt.json`` (CI uploads the smoke variant);
+- ``pytest benchmarks/bench_disrupt.py --benchmark-only`` times the full
+  scenario under pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import __version__
+from repro.disrupt import DisruptionEvent, DisruptionSchedule
+from repro.experiments.disrupt import (
+    disruption_matchup_reports,
+    matchup_deadline,
+    run_disruption_matchup,
+)
+from repro.geo import FederationConfig
+from repro.workloads.batch import WorkloadSpec
+
+
+def scenario(smoke: bool) -> FederationConfig:
+    if smoke:
+        workload = WorkloadSpec(
+            family="tpch", num_jobs=12, mean_interarrival=15.0,
+            tpch_scales=(2,),
+        )
+        executors = 6
+    else:
+        workload = WorkloadSpec(
+            family="tpch", num_jobs=48, mean_interarrival=20.0,
+            tpch_scales=(2, 10),
+        )
+        executors = 12
+    config = FederationConfig.six_grid(
+        scheduler="pcaps", num_executors=executors, workload=workload, seed=1
+    )
+    horizon = workload.num_jobs * workload.mean_interarrival
+    # Pinned, deliberately painful: ON (where carbon-aware routing
+    # concentrates work) dies for most of the arrival window, DE loses
+    # half its capacity, and CAISO's carbon feed goes stale.
+    schedule = DisruptionSchedule(
+        events=(
+            DisruptionEvent(
+                kind="outage", region="on",
+                start=0.2 * horizon, end=2.5 * horizon,
+            ),
+            DisruptionEvent(
+                kind="curtailment", region="de",
+                start=0.1 * horizon, end=1.5 * horizon,
+                capacity_fraction=0.5,
+            ),
+            DisruptionEvent(
+                kind="signal-blackout", region="caiso",
+                start=0.0, end=2.0 * horizon,
+            ),
+        )
+    )
+    return config.with_disruptions(schedule)
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = scenario(smoke)
+    schedule = config.disruptions
+    results = run_disruption_matchup(config)
+    reports = disruption_matchup_reports(results, schedule)
+    deadline = matchup_deadline(results)
+    undisrupted = results["undisrupted"]
+    doc = {
+        "benchmark": "disrupt-resilience",
+        "version": __version__,
+        "mode": "smoke" if smoke else "full",
+        "num_jobs": config.workload.num_jobs,
+        "executors_per_region": config.regions[0].num_executors,
+        "routing": config.routing,
+        "num_disruption_events": len(schedule),
+        "deadline_s": deadline,
+        "variants": {
+            name: {
+                "total_carbon_g": result.total_carbon_g,
+                "compute_carbon_g": result.compute_carbon_g,
+                "transfer_carbon_g": result.transfer_carbon_g,
+                "ect": result.ect,
+                "avg_jct": result.avg_jct,
+                "jobs_on_time": report.jobs_completed,
+                "preempted_tasks": report.preempted_tasks,
+                "wasted_executor_s": report.wasted_executor_s,
+                "goodput": report.goodput,
+                "rerouted_jobs": report.rerouted_jobs,
+                "migrated_jobs": report.migrated_jobs,
+                "failover_transfer_carbon_g": report.failover_transfer_g,
+                "mean_recovery_latency_s": report.mean_recovery_latency_s,
+            }
+            for name, (result, report) in (
+                (n, (results[n], reports[n])) for n in results
+            )
+        },
+        # The headline numbers: what resilience costs in carbon.
+        "failover_carbon_delta_vs_undisrupted_g": (
+            results["failover"].total_carbon_g - undisrupted.total_carbon_g
+        ),
+        "failover_carbon_delta_vs_no_failover_g": (
+            results["failover"].total_carbon_g
+            - results["no-failover"].total_carbon_g
+        ),
+    }
+    return doc
+
+
+def format_figure(doc: dict) -> list[str]:
+    lines = [
+        f"disruption resilience — {doc['num_jobs']} jobs, "
+        f"{doc['executors_per_region']} executors/region, "
+        f"{doc['num_disruption_events']} events, "
+        f"deadline {doc['deadline_s']:.0f}s"
+    ]
+    lines.append(
+        f"  {'variant':<13} {'carbon_g':>9} {'ECT':>8} {'on-time':>8} "
+        f"{'reroute':>8} {'migrate':>8} {'goodput':>8}"
+    )
+    for name in ("undisrupted", "no-failover", "failover"):
+        v = doc["variants"][name]
+        lines.append(
+            f"  {name:<13} {v['total_carbon_g']:>9.1f} {v['ect']:>8.1f} "
+            f"{v['jobs_on_time']:>4}/{doc['num_jobs']:<3} "
+            f"{v['rerouted_jobs']:>8} {v['migrated_jobs']:>8} "
+            f"{v['goodput']:>8.3f}"
+        )
+    lines.append(
+        f"  failover carbon delta: "
+        f"{doc['failover_carbon_delta_vs_no_failover_g']:+.1f} g vs "
+        f"no-failover, {doc['failover_carbon_delta_vs_undisrupted_g']:+.1f} g "
+        f"vs undisrupted"
+    )
+    return lines
+
+
+def check_acceptance(doc: dict) -> None:
+    failover = doc["variants"]["failover"]
+    baseline = doc["variants"]["no-failover"]
+    assert failover["jobs_on_time"] >= baseline["jobs_on_time"], (
+        f"failover must complete at least as many jobs by the deadline "
+        f"({failover['jobs_on_time']} < {baseline['jobs_on_time']})"
+    )
+    assert failover["rerouted_jobs"] + failover["migrated_jobs"] > 0, (
+        "the pinned scenario must actually exercise failover"
+    )
+
+
+def write_report(doc: dict, output: str) -> None:
+    Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI scenario instead of the full figure",
+    )
+    parser.add_argument("--output", default="BENCH_disrupt.json")
+    args = parser.parse_args(argv)
+    doc = run_benchmark(smoke=args.smoke)
+    for line in format_figure(doc):
+        print(line)
+    check_acceptance(doc)
+    write_report(doc, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_disrupt_resilience(benchmark):
+    """pytest-benchmark entry point (full scenario, timed once)."""
+    from _report import emit, run_once
+
+    doc = run_once(benchmark, run_benchmark, False)
+    emit("Disruption resilience — BENCH_disrupt", format_figure(doc))
+    check_acceptance(doc)
+    write_report(doc, "BENCH_disrupt.json")
+    benchmark.extra_info["jobs_on_time"] = {
+        name: v["jobs_on_time"] for name, v in doc["variants"].items()
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

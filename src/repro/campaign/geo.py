@@ -29,6 +29,7 @@ from repro.campaign.executor import (
     capture_trial_record,
 )
 from repro.campaign.store import ResultStore, TrialRecord
+from repro.disrupt.schedule import DisruptionEvent, DisruptionSchedule
 from repro.geo.config import FederationConfig, RegionConfig, TransferModel
 from repro.geo.federation import run_federation
 from repro.geo.result import FederationResult
@@ -72,6 +73,13 @@ def federation_from_dict(data: Mapping[str, Any]) -> FederationConfig:
     params["workload"] = WorkloadSpec(**workload)
     if isinstance(params.get("transfer"), Mapping):
         params["transfer"] = TransferModel(**params["transfer"])
+    if isinstance(params.get("disruptions"), Mapping):
+        params["disruptions"] = DisruptionSchedule(
+            events=tuple(
+                DisruptionEvent(**event)
+                for event in params["disruptions"].get("events", ())
+            )
+        )
     return FederationConfig(**params)
 
 
@@ -102,6 +110,9 @@ def federation_metrics(result: FederationResult) -> dict[str, Any]:
         "num_jobs": result.num_jobs,
         "moved_jobs": result.moved_jobs(),
         "jobs_per_region": result.jobs_per_region(),
+        "rerouted_jobs": len(result.reroutes),
+        "migrated_jobs": result.migrated_jobs(),
+        "failover_transfer_carbon_g": result.failover_transfer_carbon_g,
     }
 
 
@@ -232,6 +243,43 @@ def geo_presets() -> dict[str, GeoCampaignSpec]:
             description="six-grid federation: 4 routing policies × 3 seeds",
         ),
         GeoCampaignSpec(
+            "disrupt-sweep",
+            FederationConfig(
+                regions=(
+                    RegionConfig(name="de", grid="DE", scheduler="pcaps",
+                                 num_executors=8),
+                    RegionConfig(name="on", grid="ON", scheduler="pcaps",
+                                 num_executors=8),
+                    RegionConfig(name="caiso", grid="CAISO", scheduler="pcaps",
+                                 num_executors=8),
+                ),
+                workload=WorkloadSpec(
+                    family="tpch", num_jobs=18, mean_interarrival=15.0,
+                    tpch_scales=(2,),
+                ),
+                disruptions=DisruptionSchedule.generate(
+                    seed=7,
+                    regions=("de", "on", "caiso"),
+                    horizon_s=900.0,
+                    num_outages=2,
+                    mean_outage_s=600.0,
+                    num_curtailments=1,
+                    num_blackouts=1,
+                ),
+            ),
+            axes={
+                "routing": (
+                    "round-robin",
+                    "queue-aware",
+                    "carbon-forecast",
+                ),
+                "failover": (True, False),
+                "seed": (0, 1),
+            },
+            description="outage/curtailment/blackout resilience: "
+            "failover on vs off, per routing policy",
+        ),
+        GeoCampaignSpec(
             "geo-schedulers",
             FederationConfig.six_grid(num_executors=10, workload=sweep_workload),
             axes={
@@ -249,10 +297,16 @@ def geo_presets() -> dict[str, GeoCampaignSpec]:
 # Execution against the shared result store
 # ----------------------------------------------------------------------
 def geo_trial_label(config: FederationConfig) -> str:
-    return (
+    label = (
         f"{config.routing} regions={len(config.regions)} "
         f"seed={config.seed}"
     )
+    if config.disruptions is not None:
+        label += (
+            f" disrupted×{len(config.disruptions)}"
+            f" failover={'on' if config.failover else 'off'}"
+        )
+    return label
 
 
 def run_geo_trial_to_record(

@@ -13,7 +13,11 @@ Gives downstream users the paper's experiments without writing code:
   latency), written to ``BENCH_engine.json``;
 - ``repro geo`` — geo-distributed federation: run one multi-region trial,
   compare routing policies on the identical workload, or sweep a geo
-  campaign preset against the result store.
+  campaign preset against the result store;
+- ``repro disrupt`` — disruption & resilience: run a federation trial
+  under a seeded schedule of region outages / curtailments / carbon-signal
+  blackouts, compare failover on vs. off vs. undisrupted, or sweep the
+  ``disrupt-sweep`` campaign preset.
 """
 
 from __future__ import annotations
@@ -426,6 +430,101 @@ def _cmd_geo(args: argparse.Namespace) -> int:
     return handlers[args.cmd](args)
 
 
+def _disrupt_schedule(args: argparse.Namespace, config):
+    from repro.disrupt import DisruptionSchedule
+
+    return DisruptionSchedule.generate(
+        seed=args.disrupt_seed,
+        regions=config.region_names(),
+        horizon_s=args.horizon,
+        num_outages=args.outages,
+        mean_outage_s=args.outage_seconds,
+        num_curtailments=args.curtailments,
+        num_blackouts=args.blackouts,
+    )
+
+
+def _cmd_disrupt_run(args: argparse.Namespace) -> int:
+    from repro.disrupt import federation_disruption_report
+    from repro.geo import run_federation
+
+    config = _geo_config(args)
+    if config is None:
+        return 2
+    schedule = _disrupt_schedule(args, config)
+    if not schedule:
+        print("generated schedule is empty; raise --outages/--curtailments")
+        return 2
+    result = run_federation(
+        config.with_disruptions(
+            schedule, failover=not args.no_failover,
+            migrate=not args.no_migrate,
+        )
+    )
+    print(f"{len(schedule)} disruption events:")
+    for event in schedule.events:
+        extra = (
+            f" keep={event.capacity_fraction:.0%}"
+            if event.kind == "curtailment"
+            else ""
+        )
+        print(
+            f"  {event.kind:<16} {event.region:<8} "
+            f"[{event.start:>7.1f}, {event.end:>7.1f}){extra}"
+        )
+    _print_federation(result)
+    report = federation_disruption_report(result, schedule)
+    print(
+        f"  resilience: {report.preempted_tasks} preempted "
+        f"({report.wasted_executor_s:.1f} exec-s wasted, "
+        f"goodput {report.goodput:.3f}), "
+        f"{report.rerouted_jobs} rerouted, {report.migrated_jobs} migrated "
+        f"(+{report.failover_transfer_g:.1f} g transfer), "
+        f"mean recovery {report.mean_recovery_latency_s:.1f}s"
+    )
+    return 0
+
+
+def _cmd_disrupt_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.disrupt import (
+        disruption_matchup_reports,
+        format_disruption_matchup,
+        matchup_deadline,
+        run_disruption_matchup,
+    )
+
+    config = _geo_config(args)
+    if config is None:
+        return 2
+    schedule = _disrupt_schedule(args, config)
+    if not schedule:
+        print("generated schedule is empty; raise --outages/--curtailments")
+        return 2
+    results = run_disruption_matchup(config, schedule)
+    reports = disruption_matchup_reports(results, schedule)
+    deadline = matchup_deadline(results)
+    print(
+        f"{len(schedule)} disruption events, on-time deadline "
+        f"{deadline:.1f}s (1.25x undisrupted ECT)"
+    )
+    print(format_disruption_matchup(results, reports, deadline))
+    return 0
+
+
+def _cmd_disrupt_sweep(args: argparse.Namespace) -> int:
+    args.name = "disrupt-sweep"
+    return _cmd_geo_sweep(args)
+
+
+def _cmd_disrupt(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_disrupt_run,
+        "compare": _cmd_disrupt_compare,
+        "sweep": _cmd_disrupt_sweep,
+    }
+    return handlers[args.cmd](args)
+
+
 def _cmd_grids(args: argparse.Namespace) -> int:
     print(f"{'grid':<7} {'description':<55} {'mean':>6} {'cov':>6}")
     for code in GRID_CODES:
@@ -622,6 +721,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     g.add_argument("--quiet", action="store_true")
     g.set_defaults(func=_cmd_geo)
+
+    p = sub.add_parser(
+        "disrupt",
+        help="disruption & resilience: outages, curtailment, failover routing",
+    )
+    disrupt_sub = p.add_subparsers(dest="cmd", required=True)
+
+    def _add_disruption_args(d: argparse.ArgumentParser) -> None:
+        d.add_argument(
+            "--disrupt-seed", type=int, default=7,
+            help="seed for the generated disruption schedule",
+        )
+        d.add_argument(
+            "--horizon", type=float, default=900.0,
+            help="window (simulated s) disruption starts are drawn from",
+        )
+        d.add_argument("--outages", type=int, default=2)
+        d.add_argument(
+            "--outage-seconds", type=float, default=600.0,
+            help="mean outage duration (exponential)",
+        )
+        d.add_argument("--curtailments", type=int, default=1)
+        d.add_argument("--blackouts", type=int, default=1)
+
+    d = disrupt_sub.add_parser(
+        "run", help="one disrupted federation trial, with resilience report"
+    )
+    _add_geo_federation_args(d)
+    _add_disruption_args(d)
+    d.add_argument(
+        "--no-failover", action="store_true",
+        help="do not route around down regions",
+    )
+    d.add_argument(
+        "--no-migrate", action="store_true",
+        help="do not relocate queued jobs at outages",
+    )
+    d.set_defaults(func=_cmd_disrupt)
+
+    d = disrupt_sub.add_parser(
+        "compare",
+        help="undisrupted vs no-failover vs failover on the identical trial",
+    )
+    _add_geo_federation_args(d)
+    _add_disruption_args(d)
+    d.set_defaults(func=_cmd_disrupt)
+
+    d = disrupt_sub.add_parser(
+        "sweep",
+        help="run the disrupt-sweep campaign preset against the result store",
+    )
+    d.add_argument("--store", default=DEFAULT_CAMPAIGN_STORE)
+    d.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count; 0/1 = inline)",
+    )
+    d.add_argument("--quiet", action="store_true")
+    d.set_defaults(func=_cmd_disrupt)
 
     return parser
 

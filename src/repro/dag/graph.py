@@ -82,6 +82,7 @@ class JobDAG:
         self._children: dict[int, tuple[int, ...]] = self._build_children()
         self._topo_order: tuple[int, ...] = self._toposort()
         self._topo_index: dict[int, int] | None = None
+        self._descendant_work: dict[int, float] | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -158,6 +159,26 @@ class JobDAG:
                 sid: i for i, sid in enumerate(self._topo_order)
             }
         return self._topo_index
+
+    def descendant_work_map(self) -> Mapping[int, float]:
+        """Stage id → total work gated behind it, including itself (cached).
+
+        The DAG is immutable and :func:`repro.dag.metrics.descendant_work`
+        ignores stage completion (it sums over *all* transitive
+        descendants), so the per-stage totals are constants of the DAG.
+        ``bottleneck_scores`` reads this map instead of re-running one
+        reachability sweep per stage on every stage completion — the
+        ROADMAP's O(S²)-per-completion hot spot. The cached values are
+        produced by the identical per-stage traversal-and-sum the direct
+        call runs, so scores stay bit-identical.
+        """
+        if self._descendant_work is None:
+            from repro.dag.metrics import descendant_work
+
+            self._descendant_work = {
+                sid: descendant_work(self, sid) for sid in self._stages
+            }
+        return self._descendant_work
 
     @property
     def total_work(self) -> float:

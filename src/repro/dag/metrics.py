@@ -99,11 +99,16 @@ def bottleneck_scores(
         below = max((downstream[c] for c in dag.children(sid)), default=0.0)
         downstream[sid] = own + below
     max_chain = max(downstream.values(), default=0.0)
+    # Descendant work ignores completion, so the per-stage totals are
+    # constants of the DAG — read the cached map instead of re-running the
+    # O(S) reachability sweep per stage on every call (the values are the
+    # identical floats a direct descendant_work() call produces).
+    gated_work = dag.descendant_work_map()
     scores: dict[int, float] = {}
     for sid in dag.stage_ids():
         if sid in done:
             continue
-        gated = descendant_work(dag, sid)
+        gated = gated_work[sid]
         chain = downstream[sid]
         scores[sid] = 0.5 * (gated / remaining) + 0.5 * (
             chain / max_chain if max_chain > 0 else 0.0

@@ -1,0 +1,54 @@
+"""repro.disrupt — disruption & resilience subsystem.
+
+Real carbon-aware fleets lose regions, get curtailed during grid-stress
+events, and see their carbon-signal feeds go stale. This package injects
+those failures into simulations as a deterministic, seeded
+:class:`DisruptionSchedule` and measures how the system copes:
+
+- :mod:`repro.disrupt.schedule` — :class:`DisruptionEvent` /
+  :class:`DisruptionSchedule`: validated, hashable, seeded-generatable
+  timelines of outages, capacity curtailments, and signal blackouts;
+- :mod:`repro.disrupt.inject` — translate a schedule into engine events on
+  a :class:`~repro.simulator.engine.SimulationStepper` (whose
+  ``set_capacity`` / ``suspend`` / ``resume`` verbs preempt running tasks
+  and requeue their jobs deterministically);
+- :mod:`repro.disrupt.metrics` — :class:`DisruptionReport`: goodput,
+  wasted (preempted) executor-seconds, rerouted/migrated job counts, the
+  carbon penalty of failover, and per-event recovery latency.
+
+Federation-level reactions (failover routing around down regions,
+mid-trial migration of queued jobs) live in :mod:`repro.geo`; the
+matchups and campaign presets in :mod:`repro.experiments.disrupt` and the
+``disrupt-sweep`` campaign tie it all together. With an empty schedule
+every path replays bit-identically to the undisrupted engine.
+"""
+
+from repro.disrupt.inject import (
+    DisruptedRun,
+    install_disruptions,
+    run_disrupted_experiment,
+)
+from repro.disrupt.metrics import (
+    DisruptionReport,
+    cluster_disruption_report,
+    federation_disruption_report,
+    jobs_completed_by,
+)
+from repro.disrupt.schedule import (
+    EVENT_KINDS,
+    DisruptionEvent,
+    DisruptionSchedule,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "DisruptionEvent",
+    "DisruptionSchedule",
+    "DisruptedRun",
+    "DisruptionReport",
+    "cluster_disruption_report",
+    "federation_disruption_report",
+    "install_disruptions",
+    "jobs_completed_by",
+    "run_disrupted_experiment",
+]

@@ -1,0 +1,107 @@
+"""Installing a disruption schedule into a simulation.
+
+The engine stays generic — :class:`~repro.simulator.engine.SimulationStepper`
+exposes capacity and signal verbs but knows nothing about schedules. This
+module is the bridge: :func:`install_disruptions` translates a
+:class:`~repro.disrupt.schedule.DisruptionSchedule` into engine events on
+one stepper, and :func:`run_disrupted_experiment` is the single-cluster
+entry point mirroring :func:`repro.experiments.runner.run_experiment`.
+
+Installing an *empty* schedule pushes no events, so the run replays
+bit-identically to the undisrupted engine — the invariant the fingerprint
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.disrupt.schedule import DisruptionSchedule
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_scheduler,
+    carbon_trace_for,
+    workload_for,
+)
+from repro.simulator.engine import ClusterConfig, Simulation, SimulationStepper
+from repro.simulator.metrics import ExperimentResult
+
+
+def install_disruptions(
+    stepper: SimulationStepper,
+    schedule: DisruptionSchedule,
+    region: str | None = None,
+) -> int:
+    """Schedule ``region``'s disruption events on one engine stepper.
+
+    Outages and curtailments become paired capacity events (drop at
+    ``start``, restore to full at ``end``); signal blackouts freeze the
+    scheduler-visible carbon reading over their window. Returns the number
+    of schedule events installed. Call before (or while) driving the
+    stepper — events must not predate already-processed timestamps.
+    """
+    num_executors = stepper.sim.config.num_executors
+    events = schedule.events_for(region)
+    for event in events:
+        if event.affects_capacity:
+            stepper.schedule_capacity(
+                event.start, event.online_executors(num_executors)
+            )
+            stepper.schedule_capacity(event.end, num_executors)
+        else:
+            stepper.schedule_signal_blackout(event.start, event.end)
+    return len(events)
+
+
+@dataclass(frozen=True)
+class DisruptedRun:
+    """A single-cluster disrupted trial: the result plus the schedule."""
+
+    result: ExperimentResult
+    schedule: DisruptionSchedule
+    preempted_tasks: int
+
+
+def run_disrupted_experiment(
+    config: ExperimentConfig,
+    schedule: DisruptionSchedule,
+    region: str | None = None,
+) -> DisruptedRun:
+    """Run one single-cluster experiment under a disruption schedule.
+
+    The exact materialization path of
+    :func:`~repro.experiments.runner.run_experiment` (same memoized
+    workload, trace slice, and scheduler construction), driven through a
+    stepper with the schedule installed. With
+    ``DisruptionSchedule.empty()`` the result is bit-identical to
+    ``run_experiment(config)``.
+    """
+    trace = carbon_trace_for(config)
+    submissions = workload_for(config)
+    scheduler, provisioner = build_scheduler(config, trace)
+    cluster = ClusterConfig(
+        num_executors=config.num_executors,
+        executor_move_delay=config.executor_move_delay,
+        per_job_executor_cap=(
+            config.per_job_cap if config.mode == "kubernetes" else None
+        ),
+        mode=config.mode,
+    )
+    sim = Simulation(
+        config=cluster,
+        scheduler=scheduler,
+        carbon_api=CarbonIntensityAPI(trace),
+        provisioner=provisioner,
+        measure_latency=config.measure_latency,
+    )
+    stepper = sim.stepper()
+    for sub in submissions:
+        stepper.submit(sub)
+    install_disruptions(stepper, schedule, region=region)
+    stepper.run_to_completion()
+    return DisruptedRun(
+        result=stepper.result(),
+        schedule=schedule,
+        preempted_tasks=stepper.preempted_tasks,
+    )

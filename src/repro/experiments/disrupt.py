@@ -1,0 +1,123 @@
+"""Disruption experiments: resilience matchups under a pinned schedule.
+
+The disrupted analogue of :mod:`repro.experiments.federation`: one
+federation config plus one :class:`~repro.disrupt.schedule.DisruptionSchedule`
+defines a scenario, and the matchup runs three variants on the *identical*
+workload, origins, traces, and disruptions:
+
+- ``undisrupted`` — the schedule removed (the ceiling);
+- ``no-failover``  — disruptions hit, the system does not react: jobs
+  routed to a down region queue there until recovery;
+- ``failover``     — the routing wrapper diverts arrivals away from down
+  regions and mid-trial migration relocates queued jobs at each outage.
+
+Differences between the variants are attributable to the reaction
+machinery alone — the comparison the resilience benchmark and the
+``repro disrupt`` CLI report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.disrupt.metrics import (
+    DisruptionReport,
+    federation_disruption_report,
+    jobs_completed_by,
+)
+from repro.disrupt.schedule import DisruptionSchedule
+
+# Same circular-import caveat as repro.experiments.federation: repro.geo
+# imports repro.experiments.runner, so geo imports stay in function bodies.
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geo.config import FederationConfig
+    from repro.geo.result import FederationResult
+
+#: Variant names, in reporting order.
+DISRUPT_VARIANTS: tuple[str, ...] = ("undisrupted", "no-failover", "failover")
+
+#: Deadline slack for the "jobs completed in time" goodput metric: a job
+#: counts as on-time if it finishes within this factor of the undisrupted
+#: variant's ECT.
+DEADLINE_FACTOR = 1.25
+
+
+def run_disruption_matchup(
+    config: "FederationConfig",
+    schedule: DisruptionSchedule | None = None,
+) -> dict[str, "FederationResult"]:
+    """Run the three resilience variants of one disrupted scenario.
+
+    ``schedule`` defaults to ``config.disruptions`` (one of the two must
+    provide a non-empty schedule). Every variant sees the identical
+    workload and per-region traces; keys follow :data:`DISRUPT_VARIANTS`.
+    """
+    from repro.geo.federation import run_federation
+
+    if schedule is None:
+        schedule = config.disruptions
+    if schedule is None or not schedule:
+        raise ValueError("a disruption matchup needs a non-empty schedule")
+    return {
+        "undisrupted": run_federation(config.with_disruptions(None)),
+        "no-failover": run_federation(
+            config.with_disruptions(schedule, failover=False, migrate=False)
+        ),
+        "failover": run_federation(
+            config.with_disruptions(schedule, failover=True, migrate=True)
+        ),
+    }
+
+
+def disruption_matchup_reports(
+    results: dict[str, "FederationResult"],
+    schedule: DisruptionSchedule,
+    deadline_factor: float = DEADLINE_FACTOR,
+) -> dict[str, DisruptionReport]:
+    """Per-variant resilience reports on a common completion deadline.
+
+    The deadline is :func:`matchup_deadline`, so the disrupted variants'
+    ``jobs_completed`` counts are comparable — the acceptance property is
+    ``failover >= no-failover`` on that count.
+    """
+    deadline = matchup_deadline(results, deadline_factor)
+    return {
+        name: federation_disruption_report(
+            result,
+            schedule if name != "undisrupted" else DisruptionSchedule.empty(),
+            deadline=deadline,
+        )
+        for name, result in results.items()
+    }
+
+
+def matchup_deadline(
+    results: dict[str, "FederationResult"],
+    deadline_factor: float = DEADLINE_FACTOR,
+) -> float:
+    """The common deadline the matchup's completion counts use."""
+    return deadline_factor * results["undisrupted"].ect
+
+
+def format_disruption_matchup(
+    results: dict[str, "FederationResult"],
+    reports: dict[str, DisruptionReport],
+    deadline: float,
+) -> str:
+    """ASCII table of the three variants (CLI + benchmark output)."""
+    lines = [
+        f"{'variant':<14} {'carbon_g':>10} {'ECT':>9} {'on-time':>8} "
+        f"{'preempt':>8} {'reroute':>8} {'migrate':>8} {'goodput':>8}"
+    ]
+    for name in DISRUPT_VARIANTS:
+        if name not in results:
+            continue
+        result, report = results[name], reports[name]
+        on_time = jobs_completed_by(result.finishes, deadline)
+        lines.append(
+            f"{name:<14} {result.total_carbon_g:>10.1f} {result.ect:>9.1f} "
+            f"{on_time:>3}/{result.num_jobs:<4} "
+            f"{report.preempted_tasks:>8} {report.rerouted_jobs:>8} "
+            f"{report.migrated_jobs:>8} {report.goodput:>8.3f}"
+        )
+    return "\n".join(lines)

@@ -21,6 +21,7 @@ from repro.geo.federation import Federation, run_federation
 from repro.geo.result import (
     FederationComparison,
     FederationResult,
+    MigrationDecision,
     RegionResult,
     RoutingDecision,
     compare_federations,
@@ -29,6 +30,7 @@ from repro.geo.routing import (
     ROUTING_POLICY_NAMES,
     CarbonForecastRouting,
     CarbonGreedyRouting,
+    FailoverRouting,
     QueueAwareRouting,
     RegionSnapshot,
     RoundRobinRouting,
@@ -45,12 +47,14 @@ __all__ = [
     "run_federation",
     "FederationComparison",
     "FederationResult",
+    "MigrationDecision",
     "RegionResult",
     "RoutingDecision",
     "compare_federations",
     "ROUTING_POLICY_NAMES",
     "CarbonForecastRouting",
     "CarbonGreedyRouting",
+    "FailoverRouting",
     "QueueAwareRouting",
     "RegionSnapshot",
     "RoundRobinRouting",

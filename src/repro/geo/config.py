@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.carbon.grids import GRID_CODES
 from repro.dag.graph import JobDAG
+from repro.disrupt.schedule import DisruptionSchedule
 from repro.experiments.runner import SCHEDULER_NAMES, ExperimentConfig
 from repro.workloads.batch import WorkloadSpec
 
@@ -87,6 +88,12 @@ class RegionConfig:
     executor_move_delay: float = 0.5
     per_job_cap: int | None = None
     mode: str = "standalone"
+    #: Relative share of job *origins* this region attracts. With every
+    #: weight equal (the default) origins are assigned by the original
+    #: uniform draw, byte-identical to the pre-weight behavior; unequal
+    #: weights model skewed user populations (the ROADMAP's "skewed
+    #: per-region arrival processes" follow-up).
+    arrival_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -100,6 +107,8 @@ class RegionConfig:
             )
         if self.num_executors < 1:
             raise ValueError("region needs at least one executor")
+        if not self.arrival_weight > 0:
+            raise ValueError("arrival_weight must be positive")
 
     def to_experiment_config(
         self, workload: WorkloadSpec, seed: int
@@ -141,10 +150,24 @@ class FederationConfig:
         Inter-region data-transfer cost model.
     origin_region:
         Region every job originates from. ``None`` (default) assigns
-        origins uniformly at random (seeded), modelling geo-distributed
-        users.
+        origins at random (seeded), weighted by each region's
+        ``arrival_weight``, modelling geo-distributed users.
     executor_power_kw:
         Per-executor power draw for converting footprints to grams.
+    disruptions:
+        Optional :class:`~repro.disrupt.schedule.DisruptionSchedule` of
+        region outages, curtailments, and carbon-signal blackouts injected
+        into the trial. ``None`` (default) reproduces the undisrupted
+        federation bit-identically.
+    failover:
+        With disruptions present, wrap the routing policy in
+        :class:`~repro.geo.routing.FailoverRouting` so arriving jobs avoid
+        down regions.
+    migrate:
+        With disruptions *and* failover on, additionally withdraw
+        not-yet-started jobs from a region at each of its outages and
+        re-route them (paying transfer carbon out of the down region).
+        ``failover=False`` disables all reactions regardless.
     """
 
     regions: tuple[RegionConfig, ...]
@@ -154,6 +177,9 @@ class FederationConfig:
     transfer: TransferModel = field(default_factory=TransferModel)
     origin_region: str | None = None
     executor_power_kw: float = DEFAULT_EXECUTOR_POWER_KW
+    disruptions: DisruptionSchedule | None = None
+    failover: bool = True
+    migrate: bool = True
 
     def __post_init__(self) -> None:
         from repro.geo.routing import ROUTING_POLICY_NAMES
@@ -176,6 +202,31 @@ class FederationConfig:
             )
         if self.executor_power_kw <= 0:
             raise ValueError("executor_power_kw must be positive")
+        if self.disruptions is not None:
+            foreign = [
+                region
+                for region in self.disruptions.region_names()
+                if region not in names
+            ]
+            if foreign:
+                raise ValueError(
+                    f"disruption events target non-member regions {foreign}"
+                )
+            if any(e.region is None for e in self.disruptions.events):
+                raise ValueError(
+                    "federation disruption events must name a member region"
+                )
+
+    # ------------------------------------------------------------------
+    def with_disruptions(
+        self,
+        schedule: DisruptionSchedule | None,
+        failover: bool = True,
+        migrate: bool = True,
+    ) -> "FederationConfig":
+        return replace(
+            self, disruptions=schedule, failover=failover, migrate=migrate
+        )
 
     # ------------------------------------------------------------------
     def with_routing(self, name: str) -> "FederationConfig":

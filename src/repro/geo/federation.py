@@ -17,18 +17,30 @@ byte-identical routing decisions and carbon totals.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.carbon.api import CarbonIntensityAPI
 from repro.dag.metrics import critical_path_length
+from repro.disrupt.inject import install_disruptions
 from repro.experiments.runner import (
     build_scheduler,
     carbon_trace_for,
     memoized_workload,
 )
 from repro.geo.config import FederationConfig, RegionConfig
-from repro.geo.result import FederationResult, RegionResult, RoutingDecision
-from repro.geo.routing import RegionSnapshot, build_routing_policy
+from repro.geo.result import (
+    FederationResult,
+    MigrationDecision,
+    RegionResult,
+    RoutingDecision,
+)
+from repro.geo.routing import (
+    FailoverRouting,
+    RegionSnapshot,
+    build_routing_policy,
+)
 from repro.simulator.engine import ClusterConfig, Simulation, SimulationStepper
 from repro.workloads.arrivals import JobSubmission
 
@@ -80,6 +92,7 @@ class _Region:
             carbon_intensity=self.api.intensity(t),
             forecast_low=low,
             forecast_high=high,
+            online_executors=self.stepper.capacity,
         )
 
 
@@ -103,15 +116,120 @@ class Federation:
 
     # ------------------------------------------------------------------
     def _origins(self, submissions: list[JobSubmission]) -> list[int]:
-        """Per-job origin region indices (seeded, or pinned by config)."""
+        """Per-job origin region indices (seeded, or pinned by config).
+
+        With every region at the default ``arrival_weight`` the original
+        uniform draw is used, byte-identical to the unweighted behavior;
+        unequal weights switch to a weighted draw from the same seeded RNG.
+        """
         if self.config.origin_region is not None:
             fixed = self.config.region_index(self.config.origin_region)
             return [fixed] * len(submissions)
         rng = np.random.default_rng((self.config.seed, _ORIGIN_SEED_SALT))
+        weights = np.array(
+            [r.arrival_weight for r in self.config.regions], dtype=float
+        )
+        if np.all(weights == weights[0]):
+            return [
+                int(v)
+                for v in rng.integers(len(self.regions), size=len(submissions))
+            ]
         return [
             int(v)
-            for v in rng.integers(len(self.regions), size=len(submissions))
+            for v in rng.choice(
+                len(self.regions),
+                size=len(submissions),
+                p=weights / weights.sum(),
+            )
         ]
+
+    # ------------------------------------------------------------------
+    def _route_and_submit(
+        self,
+        policy,
+        sub: JobSubmission,
+        origin: int,
+        snapshots: list[RegionSnapshot],
+        names: tuple[str, ...],
+    ) -> RoutingDecision:
+        """One routing decision: choose a region, price transfer, submit."""
+        choice = policy.route(sub, origin, snapshots, snapshots[origin])
+        if not 0 <= choice < len(self.regions):
+            raise ValueError(
+                f"routing policy {policy.name!r} returned invalid "
+                f"region index {choice}"
+            )
+        transfer_g = self.config.transfer.transfer_carbon_g(
+            sub.dag,
+            snapshots[origin].carbon_intensity,
+            snapshots[choice].carbon_intensity,
+            same_region=origin == choice,
+        )
+        self.regions[choice].stepper.submit(sub)
+        return RoutingDecision(
+            job_id=sub.job_id,
+            time=sub.arrival_time,
+            origin=names[origin],
+            region=names[choice],
+            transfer_g=transfer_g,
+            job_work=sub.dag.total_work,
+            job_critical_path=critical_path_length(sub.dag),
+        )
+
+    def _migrate_from(
+        self,
+        down: "_Region",
+        t: float,
+        policy,
+        placements: dict[int, int],
+        origins: dict[int, float],
+    ) -> list[MigrationDecision]:
+        """Withdraw not-yet-started jobs from a just-downed region.
+
+        Each withdrawn job re-routes over the up regions (via the failover
+        wrapper's inner policy, with the down region as its transfer
+        origin: its input must egress from there) and is resubmitted with
+        its arrival clamped to the migration instant. Jobs stay put when
+        no region is up.
+        """
+        snapshots = [region.snapshot(t) for region in self.regions]
+        up = tuple(s for s in snapshots if s.is_up)
+        if not up:
+            return []
+        stepper = down.stepper
+        candidates = sorted(
+            job_id
+            for job_id, region_index in placements.items()
+            if region_index == down.index
+        )
+        moves: list[MigrationDecision] = []
+        for job_id in candidates:
+            sub = stepper.withdraw(job_id)
+            if sub is None:  # already running (or finished): stays put
+                continue
+            choice = policy.route(
+                sub, down.index, up, snapshots[down.index]
+            )
+            transfer_g = self.config.transfer.transfer_carbon_g(
+                sub.dag,
+                snapshots[down.index].carbon_intensity,
+                snapshots[choice].carbon_intensity,
+                same_region=choice == down.index,
+            )
+            moved = replace(sub, arrival_time=max(sub.arrival_time, t))
+            self.regions[choice].stepper.submit(moved)
+            placements[job_id] = choice
+            moves.append(
+                MigrationDecision(
+                    job_id=job_id,
+                    time=t,
+                    from_region=down.spec.name,
+                    to_region=self.regions[choice].spec.name,
+                    transfer_g=transfer_g,
+                    original_arrival=origins[job_id],
+                )
+            )
+        return moves
 
     def run(self) -> FederationResult:
         config = self.config
@@ -120,43 +238,62 @@ class Federation:
         policy = build_routing_policy(
             config.routing, config.transfer, config.executor_power_kw
         )
+        schedule = config.disruptions
+        if schedule is not None and config.failover:
+            policy = FailoverRouting(policy)
         policy.reset()
         for region in self.regions:
             region.start()
+            if schedule is not None:
+                install_disruptions(
+                    region.stepper, schedule, region=region.spec.name
+                )
+
+        # Coordination points, in time order: every job arrival, plus — when
+        # migration is on — every outage start (kind 1 sorts after a same-
+        # instant arrival, so just-submitted jobs are migration candidates).
+        points: list[tuple[float, int, int]] = [
+            (sub.arrival_time, 0, i) for i, sub in enumerate(submissions)
+        ]
+        if schedule is not None and config.failover and config.migrate:
+            points += [
+                (event.start, 1, config.region_index(event.region))
+                for event in schedule.outages()
+            ]
+        points.sort()
 
         names = config.region_names()
         decisions: list[RoutingDecision] = []
-        for sub, origin in zip(submissions, origins):
-            t = sub.arrival_time
-            # Event-time lockstep: every region catches up to the arrival
-            # instant before the policy looks at it.
-            for region in self.regions:
-                region.stepper.advance_until(t)
-            snapshots = [region.snapshot(t) for region in self.regions]
-            choice = policy.route(sub, origin, snapshots)
-            if not 0 <= choice < len(self.regions):
-                raise ValueError(
-                    f"routing policy {policy.name!r} returned invalid "
-                    f"region index {choice}"
+        migrations: list[MigrationDecision] = []
+        #: job id -> current region index, for migration sweeps.
+        placements: dict[int, int] = {}
+        arrival_of: dict[int, float] = {}
+        for t, kind, payload in points:
+            if kind == 0:
+                sub, origin = submissions[payload], origins[payload]
+                # Event-time lockstep: every region catches up to the
+                # arrival instant before the policy looks at it.
+                for region in self.regions:
+                    region.stepper.advance_until(t)
+                snapshots = [region.snapshot(t) for region in self.regions]
+                decision = self._route_and_submit(
+                    policy, sub, origin, snapshots, names
                 )
-            transfer_g = config.transfer.transfer_carbon_g(
-                sub.dag,
-                snapshots[origin].carbon_intensity,
-                snapshots[choice].carbon_intensity,
-                same_region=origin == choice,
-            )
-            self.regions[choice].stepper.submit(sub)
-            decisions.append(
-                RoutingDecision(
-                    job_id=sub.job_id,
-                    time=t,
-                    origin=names[origin],
-                    region=names[choice],
-                    transfer_g=transfer_g,
-                    job_work=sub.dag.total_work,
-                    job_critical_path=critical_path_length(sub.dag),
+                decisions.append(decision)
+                placements[sub.job_id] = names.index(decision.region)
+                arrival_of[sub.job_id] = sub.arrival_time
+            else:
+                # Outage sweep: apply every event *through* t first so the
+                # downed region's capacity drop (and any preemptions) are
+                # visible, then relocate its queued jobs.
+                for region in self.regions:
+                    region.stepper.advance_through(t)
+                migrations.extend(
+                    self._migrate_from(
+                        self.regions[payload], t, policy, placements,
+                        arrival_of,
+                    )
                 )
-            )
 
         # No more cross-region interactions: drain each region to the end.
         region_results = []
@@ -175,6 +312,9 @@ class Federation:
             regions=region_results,
             decisions=decisions,
             executor_power_kw=config.executor_power_kw,
+            migrations=migrations,
+            reroutes=list(getattr(policy, "reroutes", ())),
+            disruptions=schedule,
         )
 
 

@@ -36,6 +36,25 @@ class RoutingDecision:
 
 
 @dataclass(frozen=True)
+class MigrationDecision:
+    """One mid-trial job migration, recorded at a region outage.
+
+    The job had been routed to ``from_region`` but had not started when
+    that region went down at ``time``; its input re-ships to ``to_region``
+    (``transfer_g`` grams, priced out of the down region) and it arrives
+    there at ``time``. ``original_arrival`` preserves the job's true
+    arrival instant for honest JCT accounting.
+    """
+
+    job_id: int
+    time: float
+    from_region: str
+    to_region: str
+    transfer_g: float
+    original_arrival: float
+
+
+@dataclass(frozen=True)
 class RegionResult:
     """One region's identity plus its single-cluster measurements."""
 
@@ -57,6 +76,13 @@ class FederationResult:
     regions: list[RegionResult]
     decisions: list[RoutingDecision]
     executor_power_kw: float = DEFAULT_EXECUTOR_POWER_KW
+    #: Mid-trial migrations (disrupted trials only; empty otherwise).
+    migrations: list[MigrationDecision] = field(default_factory=list)
+    #: ``(job_id, avoided_region_index, chosen_region_index)`` diversions
+    #: made by the failover routing wrapper at arrival time.
+    reroutes: list[tuple[int, int, int]] = field(default_factory=list)
+    #: The schedule the trial ran under (``None`` = undisrupted).
+    disruptions: object | None = None
     _total_cache: float | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -66,11 +92,24 @@ class FederationResult:
     def num_jobs(self) -> int:
         return len(self.decisions)
 
+    def _final_regions(self) -> dict[int, str]:
+        """Job id → the region that actually ran it (migrations applied)."""
+        out = {d.job_id: d.region for d in self.decisions}
+        for m in self.migrations:  # chronological; later moves win
+            out[m.job_id] = m.to_region
+        return out
+
     @property
     def arrivals(self) -> dict[int, float]:
         out: dict[int, float] = {}
         for region in self.regions:
             out.update(region.result.arrivals)
+        # A migrated job "arrives" in its final region at migration time;
+        # restore its true arrival so JCT includes time lost in the down
+        # region.
+        for m in self.migrations:
+            if m.job_id in out:
+                out[m.job_id] = min(out[m.job_id], m.original_arrival)
         return out
 
     @property
@@ -108,9 +147,11 @@ class FederationResult:
         """
         jcts = self.job_completion_times
         executors = {r.name: r.num_executors for r in self.regions}
+        final = self._final_regions()
         stretches = []
         for d in self.decisions:
-            ideal = max(d.job_critical_path, d.job_work / executors[d.region])
+            region = final[d.job_id]
+            ideal = max(d.job_critical_path, d.job_work / executors[region])
             if ideal > 0:
                 stretches.append(jcts[d.job_id] / ideal)
         return float(np.mean(stretches)) if stretches else 0.0
@@ -128,8 +169,20 @@ class FederationResult:
 
     @property
     def transfer_carbon_g(self) -> float:
-        """Grams from shipping job inputs between regions."""
-        return sum(d.transfer_g for d in self.decisions)
+        """Grams from shipping job inputs between regions.
+
+        Includes the failover penalty: inputs of migrated jobs ship twice
+        (origin → first region at arrival, down region → final region at
+        migration).
+        """
+        return sum(d.transfer_g for d in self.decisions) + sum(
+            m.transfer_g for m in self.migrations
+        )
+
+    @property
+    def failover_transfer_carbon_g(self) -> float:
+        """The migration-only share of the transfer carbon."""
+        return sum(m.transfer_g for m in self.migrations)
 
     @property
     def total_carbon_g(self) -> float:
@@ -141,14 +194,19 @@ class FederationResult:
     # Distribution views
     # ------------------------------------------------------------------
     def jobs_per_region(self) -> dict[str, int]:
+        """Jobs per *executing* region (mid-trial migrations applied)."""
         counts = {r.name: 0 for r in self.regions}
-        for d in self.decisions:
-            counts[d.region] += 1
+        for region in self._final_regions().values():
+            counts[region] += 1
         return counts
 
     def moved_jobs(self) -> int:
         """Jobs routed away from their origin region."""
         return sum(1 for d in self.decisions if d.moved)
+
+    def migrated_jobs(self) -> int:
+        """Jobs withdrawn from a down region mid-trial."""
+        return len({m.job_id for m in self.migrations})
 
     def region_rows(self) -> list[tuple[str, str, int, float, float]]:
         """``(name, grid, jobs, carbon_g, ect)`` per region, for tables."""

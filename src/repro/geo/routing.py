@@ -52,15 +52,30 @@ class RegionSnapshot:
     carbon_intensity: float
     forecast_low: float
     forecast_high: float
+    #: Executors currently online (differs from ``total_executors`` only
+    #: while a disruption curtails the region). ``None`` means "no
+    #: disruption machinery in play": the region is fully up.
+    online_executors: int | None = None
 
     @property
     def load(self) -> float:
         """Backlog normalized by capacity: executor-seconds per executor."""
         return self.outstanding_work / self.total_executors
 
+    @property
+    def is_up(self) -> bool:
+        """False only while the region has zero online executors."""
+        return self.online_executors is None or self.online_executors > 0
+
 
 class RoutingPolicy(ABC):
-    """Interface every federation routing policy implements."""
+    """Interface every federation routing policy implements.
+
+    ``snapshots`` may be any subset of the federation's regions (each
+    snapshot carries its absolute ``index``); policies must return the
+    ``index`` field of one of the snapshots they were given. The failover
+    wrapper relies on this to re-route over the up-region subset.
+    """
 
     name: str = "routing"
 
@@ -73,8 +88,14 @@ class RoutingPolicy(ABC):
         sub: JobSubmission,
         origin: int,
         snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
     ) -> int:
-        """Index of the region that should run ``sub``."""
+        """Index of the region that should run ``sub``.
+
+        ``origin`` is the absolute index of the job's origin region;
+        ``origin_snapshot`` supplies its snapshot when the origin may not
+        appear in ``snapshots`` (e.g. it is down and was filtered out).
+        """
 
 
 class RoundRobinRouting(RoutingPolicy):
@@ -97,8 +118,9 @@ class RoundRobinRouting(RoutingPolicy):
         sub: JobSubmission,
         origin: int,
         snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
     ) -> int:
-        choice = self._next % len(snapshots)
+        choice = snapshots[self._next % len(snapshots)].index
         self._next += 1
         return choice
 
@@ -113,6 +135,7 @@ class QueueAwareRouting(RoutingPolicy):
         sub: JobSubmission,
         origin: int,
         snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
     ) -> int:
         return min(snapshots, key=lambda s: (s.load, s.index)).index
 
@@ -127,6 +150,7 @@ class CarbonGreedyRouting(RoutingPolicy):
         sub: JobSubmission,
         origin: int,
         snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
     ) -> int:
         return min(snapshots, key=lambda s: (s.carbon_intensity, s.index)).index
 
@@ -187,12 +211,62 @@ class CarbonForecastRouting(RoutingPolicy):
         sub: JobSubmission,
         origin: int,
         snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
     ) -> int:
-        src = snapshots[origin]
+        if origin_snapshot is not None:
+            src = origin_snapshot
+        else:
+            src = next(s for s in snapshots if s.index == origin)
         return min(
             snapshots,
             key=lambda s: (self.expected_footprint_g(sub, src, s), s.index),
         ).index
+
+
+class FailoverRouting(RoutingPolicy):
+    """Wrap any routing policy with down-region avoidance.
+
+    The inner policy routes over the full snapshot list as usual; if its
+    choice is a region with zero online executors, the wrapper re-invokes
+    it over the up-region subset and logs the diversion in
+    :attr:`reroutes`. When *every* region is down the inner choice stands —
+    the job queues there until recovery. The wrapper is what
+    :class:`~repro.geo.federation.Federation` installs when a
+    :class:`~repro.disrupt.schedule.DisruptionSchedule` is present and
+    ``failover`` is enabled; with no disruptions it never diverts, so
+    wrapping is behavior-neutral.
+    """
+
+    def __init__(self, inner: RoutingPolicy) -> None:
+        self.inner = inner
+        self.name = f"failover({inner.name})"
+        #: ``(job_id, avoided_region_index, chosen_region_index)`` per
+        #: diversion, in decision order.
+        self.reroutes: list[tuple[int, int, int]] = []
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.reroutes = []
+
+    def route(
+        self,
+        sub: JobSubmission,
+        origin: int,
+        snapshots: Sequence[RegionSnapshot],
+        origin_snapshot: RegionSnapshot | None = None,
+    ) -> int:
+        by_index = {s.index: s for s in snapshots}
+        if origin_snapshot is None:
+            origin_snapshot = by_index.get(origin)
+        choice = self.inner.route(sub, origin, snapshots, origin_snapshot)
+        if by_index[choice].is_up:
+            return choice
+        up = tuple(s for s in snapshots if s.is_up)
+        if not up:
+            return choice  # nowhere to fail over to; wait for recovery
+        diverted = self.inner.route(sub, origin, up, origin_snapshot)
+        self.reroutes.append((sub.job_id, choice, diverted))
+        return diverted
 
 
 _FACTORIES: dict[str, Callable[[TransferModel, float], RoutingPolicy]] = {

@@ -21,14 +21,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.carbon.api import CarbonIntensityAPI
+from repro.carbon.api import CarbonIntensityAPI, CarbonReading
 from repro.simulator.interfaces import Provisioner, StageScheduler
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.state import ClusterView, JobRuntime
 from repro.simulator.trace import HoldRecord, ScheduleTrace, TaskRecord
 from repro.workloads.arrivals import JobSubmission
 
-_ARRIVAL, _TASK_DONE, _CARBON_STEP = 0, 1, 2
+_ARRIVAL, _TASK_DONE, _CARBON_STEP, _CAPACITY, _SIGNAL = 0, 1, 2, 3, 4
 
 
 @dataclass(frozen=True)
@@ -198,6 +198,50 @@ class _ExecutorPool:
             )
         return held
 
+    # -- capacity disruption hooks --------------------------------------
+    def pop_newest_general(self) -> int:
+        """Remove and return the most recently released general executor.
+
+        Used by :meth:`SimulationStepper.set_capacity` to take idle
+        executors offline; raises ``IndexError`` when the general pool is
+        empty (the caller then seizes reserved or running executors).
+        """
+        executor_id = self._tail
+        if executor_id is None:
+            raise IndexError("pop from an empty executor pool")
+        self._unlink(executor_id)
+        return executor_id
+
+    def pop_reserved(self) -> tuple[int, int] | None:
+        """Remove one idle-but-bound executor (deterministic job order).
+
+        Returns ``(owner_job_id, executor_id)``, or ``None`` when no job
+        holds reserved executors. The lowest job id loses an executor
+        first, newest reservation first — a pure function of pool state,
+        so disrupted replays are identical.
+        """
+        owners = sorted(job_id for job_id, held in self.reserved.items() if held)
+        if not owners:
+            return None
+        job_id = owners[0]
+        executor_id = self.reserved[job_id].pop()
+        if not self.reserved[job_id]:
+            del self.reserved[job_id]
+        return job_id, executor_id
+
+    def add_back(self, executor_id: int) -> None:
+        """Return a previously offlined executor to the general pool.
+
+        The executor keeps its ``last_job`` affinity, exactly as if it had
+        just been released by that job.
+        """
+        self._append(executor_id)
+        last = self.last_job[executor_id]
+        if last is not None:
+            self._by_job.setdefault(last, deque()).append(
+                (executor_id, self._token[executor_id])
+            )
+
     def free_for(self, job_id: int) -> int:
         return self._general_count + len(self.reserved.get(job_id, ()))
 
@@ -289,7 +333,11 @@ class SimulationStepper:
 
     The stepper also exposes the occupancy aggregates routing policies read
     between events (:attr:`busy_executors`, :attr:`queued_jobs`,
-    :meth:`outstanding_work`).
+    :meth:`outstanding_work`), and the disruption verbs
+    (:meth:`set_capacity` / :meth:`suspend` / :meth:`resume`,
+    :meth:`schedule_capacity`, :meth:`schedule_signal_blackout`,
+    :meth:`withdraw`) that :mod:`repro.disrupt` drives. A stepper with no
+    disruptions installed replays bit-identically to ``run()``.
     """
 
     def __init__(self, sim: Simulation) -> None:
@@ -326,6 +374,22 @@ class SimulationStepper:
         # Shared per-job ready-stage cache, reused across consecutive views
         # while no launch/finish touched the job (see ClusterView).
         self._ready_cache: dict[tuple[int, bool], tuple] = {}
+        # -- disruption state (inert unless the disrupt verbs are used) --
+        #: Executors currently online; set_capacity/suspend/resume move it.
+        self.capacity = sim.config.num_executors
+        self._offline: list[int] = []  # parked executor ids, LIFO
+        self._task_tokens = itertools.count()
+        #: token -> (job_id, stage_id, executor_id, trace index) per task
+        #: in flight, so preemption can cancel its completion event and
+        #: truncate its trace record.
+        self._inflight: dict[int, tuple[int, int, int, int]] = {}
+        self._cancelled: set[int] = set()
+        self.preempted_tasks = 0
+        #: Submitted-but-not-arrived jobs, for withdraw() on migration.
+        self._pending_subs: dict[int, JobSubmission] = {}
+        self._withdrawn_pending: set[int] = set()
+        #: Last fresh carbon reading while the signal is blacked out.
+        self._frozen_reading: CarbonReading | None = None
 
     # -- job intake -----------------------------------------------------
     def submit(self, sub: JobSubmission) -> None:
@@ -334,6 +398,7 @@ class SimulationStepper:
         self._submitted += 1
         self._pending_arrivals += 1
         self._pending_work += sub.dag.total_work
+        self._pending_subs[sub.job_id] = sub
 
     def _push(self, t: float, kind: int, payload: tuple = ()) -> None:
         heapq.heappush(self.events, (t, next(self.sim._seq), kind, payload))
@@ -341,7 +406,7 @@ class SimulationStepper:
     # -- introspection (routing policies) -------------------------------
     @property
     def busy_executors(self) -> int:
-        return self.sim.config.num_executors - self.pool.free_count
+        return self.capacity - self.pool.free_count
 
     @property
     def queued_jobs(self) -> int:
@@ -357,10 +422,146 @@ class SimulationStepper:
     def next_event_time(self) -> float | None:
         return self.events[0][0] if self.events else None
 
+    # -- disruption verbs ----------------------------------------------
+    # With none of these used (and nothing scheduled via schedule_*), the
+    # stepper replays bit-identically to the pre-disruption engine: the
+    # capacity stays at num_executors, no completion event is ever
+    # cancelled, and the carbon signal is never frozen.
+    def set_capacity(self, t: float, n: int) -> None:
+        """Change the number of online executors to ``n``, effective now.
+
+        Shrinking seizes executors in a deterministic order: idle general
+        executors (newest release first), then idle-but-bound reserved
+        executors (lowest job id first), then running tasks — latest
+        launched first, so the least work is wasted. Preempted tasks are
+        cancelled, their trace records truncated at ``t`` (the busy time
+        so far still counts toward carbon — failover is not free), and
+        their stages requeue for a later assignment pass. Growing brings
+        parked executors back, most recently parked first.
+
+        Capacity changes do not run an assignment pass by themselves; use
+        :meth:`schedule_capacity` to make the change an engine event (the
+        surrounding step's pass then reacts to it).
+        """
+        n = max(0, min(n, self.sim.config.num_executors))
+        if n == self.capacity:
+            return
+        pool = self.pool
+        if n < self.capacity:
+            need = self.capacity - n
+            while need > 0 and pool.general_free > 0:
+                self._offline.append(pool.pop_newest_general())
+                need -= 1
+            while need > 0:
+                popped = pool.pop_reserved()
+                if popped is None:
+                    break
+                job_id, executor_id = popped
+                self._offline.append(executor_id)
+                self._close_hold(job_id, executor_id, t)
+                need -= 1
+            while need > 0:
+                self._preempt_latest(t)
+                need -= 1
+        else:
+            for _ in range(n - self.capacity):
+                pool.add_back(self._offline.pop())
+        self.capacity = n
+
+    def _close_hold(self, job_id: int, executor_id: int, t: float) -> None:
+        """End an executor's hold interval at seizure time.
+
+        Under hoarding semantics an executor's hold normally closes at job
+        completion; an executor taken offline stops drawing power, so its
+        open interval is emitted now. If the job grabs the executor again
+        after recovery, ``first_take`` starts a fresh interval.
+        """
+        if not self.holds:
+            return
+        start = self.first_take.get(job_id, {}).pop(executor_id, None)
+        if start is not None:
+            self.trace.add_hold(
+                HoldRecord(
+                    job_id=job_id, executor_id=executor_id, start=start, end=t
+                )
+            )
+
+    def suspend(self, t: float) -> None:
+        """Take the whole cluster offline (outage start)."""
+        self.set_capacity(t, 0)
+
+    def resume(self, t: float) -> None:
+        """Restore full capacity (outage end)."""
+        self.set_capacity(t, self.sim.config.num_executors)
+
+    def _preempt_latest(self, t: float) -> None:
+        """Kill the most recently launched in-flight task; park its executor."""
+        token = max(self._inflight)
+        job_id, stage_id, executor_id, trace_index = self._inflight.pop(token)
+        self._cancelled.add(token)
+        self.jobs[job_id].stages[stage_id].unlaunch()
+        self.trace.truncate_task(trace_index, t)
+        self._offline.append(executor_id)
+        self._close_hold(job_id, executor_id, t)
+        self.preempted_tasks += 1
+
+    def schedule_capacity(self, t: float, n: int) -> None:
+        """Enqueue a capacity change as an engine event at time ``t``."""
+        self._push(t, _CAPACITY, (n,))
+
+    def schedule_signal_blackout(self, start: float, end: float) -> None:
+        """Freeze the scheduler-visible carbon signal over ``[start, end)``.
+
+        Between the two events every assignment pass sees the last reading
+        taken at ``start`` (stale intensity and forecast bounds, current
+        clock); the ex-post carbon accounting still uses the true trace.
+        """
+        self._push(start, _SIGNAL, (True,))
+        self._push(end, _SIGNAL, (False,))
+
+    def withdraw(self, job_id: int) -> JobSubmission | None:
+        """Remove a not-yet-started job so it can be resubmitted elsewhere.
+
+        Returns the job's submission if it was still pending arrival or had
+        arrived without launching a single task; returns ``None`` (and
+        changes nothing) once any task has started — partially executed
+        jobs stay put. Used by the federation's mid-trial migration.
+        """
+        sub = self._pending_subs.get(job_id)
+        if sub is not None:
+            del self._pending_subs[job_id]
+            self._withdrawn_pending.add(job_id)
+            self._submitted -= 1
+            self._pending_arrivals -= 1
+            self._pending_work -= sub.dag.total_work
+            return sub
+        job = self.jobs.get(job_id)
+        if job is None or job.started:
+            return None
+        del self.jobs[job_id]
+        del self.active[job_id]
+        self._submitted -= 1
+        if self._ready_cache is not None:
+            self._ready_cache.pop((job_id, False), None)
+            self._ready_cache.pop((job_id, True), None)
+        return JobSubmission(
+            arrival_time=job.arrival_time, dag=job.dag, job_id=job_id
+        )
+
     # -- the loop -------------------------------------------------------
     def advance_until(self, t: float) -> None:
         """Process every event with timestamp strictly before ``t``."""
         while self.events and self.events[0][0] < t:
+            self.step()
+
+    def advance_through(self, t: float) -> None:
+        """Process every event with timestamp at or before ``t``.
+
+        The federation's migration sweep uses this so a region's outage
+        event *at* ``t`` has already been applied (capacity dropped, tasks
+        preempted) before queued jobs are withdrawn and re-routed.
+        """
+        while self.events and self.events[0][0] <= t:
             self.step()
 
     def run_to_completion(self) -> None:
@@ -391,6 +592,9 @@ class SimulationStepper:
             self.events_processed += 1
             if kind == _ARRIVAL:
                 sub = payload[0]
+                if sub.job_id in self._withdrawn_pending:
+                    self._withdrawn_pending.discard(sub.job_id)
+                    continue  # migrated away before arriving
                 job = JobRuntime(
                     job_id=sub.job_id, dag=sub.dag, arrival_time=now
                 )
@@ -398,8 +602,13 @@ class SimulationStepper:
                 active[sub.job_id] = job
                 self._pending_arrivals -= 1
                 self._pending_work -= sub.dag.total_work
+                self._pending_subs.pop(sub.job_id, None)
             elif kind == _TASK_DONE:
-                job_id, stage_id, executor_id = payload
+                job_id, stage_id, executor_id, token = payload
+                if token in self._cancelled:
+                    self._cancelled.discard(token)
+                    continue  # task was preempted; its relaunch is pending
+                del self._inflight[token]
                 job_done = jobs[job_id].record_task_finish(stage_id, now)
                 pool.release(executor_id, job_id, hold=holds and not job_done)
                 if job_done:
@@ -423,15 +632,33 @@ class SimulationStepper:
                             )
             elif kind == _CARBON_STEP:
                 self._carbon_event_at = None
+            elif kind == _CAPACITY:
+                self.set_capacity(now, payload[0])
+            elif kind == _SIGNAL:
+                if payload[0]:
+                    if self._frozen_reading is None:
+                        self._frozen_reading = sim.carbon_api.reading(now)
+                else:
+                    self._frozen_reading = None
 
         # Assignment pass.
-        reading = sim.carbon_api.reading(now)
-        busy = config.num_executors - pool.free_count
+        if self._frozen_reading is None:
+            reading = sim.carbon_api.reading(now)
+        else:
+            stale = self._frozen_reading
+            reading = CarbonReading(
+                time=now,
+                intensity=stale.intensity,
+                lower_bound=stale.lower_bound,
+                upper_bound=stale.upper_bound,
+            )
+        capacity = self.capacity
+        busy = capacity - pool.free_count
         quota = config.num_executors
         if sim.provisioner is not None:
             pre_view = ClusterView(
                 time=now,
-                total_executors=config.num_executors,
+                total_executors=capacity,
                 busy_executors=busy,
                 quota=quota,
                 jobs=jobs,
@@ -443,13 +670,15 @@ class SimulationStepper:
                 ready_cache=self._ready_cache,
             )
             quota = max(1, min(sim.provisioner.quota(pre_view), quota))
+        if capacity < quota:
+            quota = capacity
         trace.add_quota(now, quota)
 
         blocked: set[tuple[int, int]] = set()
         while pool.free_count > 0 and busy < quota:
             view = ClusterView(
                 time=now,
-                total_executors=config.num_executors,
+                total_executors=capacity,
                 busy_executors=busy,
                 quota=quota,
                 jobs=jobs,
@@ -522,8 +751,17 @@ class SimulationStepper:
                         end=end,
                     )
                 )
+                token = next(self._task_tokens)
+                self._inflight[token] = (
+                    choice.job_id,
+                    choice.stage_id,
+                    executor_id,
+                    len(trace.tasks) - 1,
+                )
                 self._push(
-                    end, _TASK_DONE, (choice.job_id, choice.stage_id, executor_id)
+                    end,
+                    _TASK_DONE,
+                    (choice.job_id, choice.stage_id, executor_id, token),
                 )
                 busy += 1
 

@@ -67,6 +67,21 @@ class StageRuntime:
         if self._owner is not None:
             self._owner._on_finish()
 
+    def unlaunch(self, count: int = 1) -> None:
+        """Roll back ``count`` in-flight launches (task preemption).
+
+        The preempted tasks return to the unlaunched pool and will be
+        handed out again by a later assignment pass; the owner's version
+        counters bump so every memoized frontier/aggregate revalidates.
+        """
+        if count <= 0 or count > self.running:
+            raise ValueError(
+                f"cannot unlaunch {count} tasks; only {self.running} running"
+            )
+        self.launched -= count
+        if self._owner is not None:
+            self._owner._on_unlaunch(count)
+
 
 @dataclass
 class JobRuntime:
@@ -133,6 +148,15 @@ class JobRuntime:
         self._finished_total += 1
         self._task_version += 1
         self._finish_version += 1
+
+    def _on_unlaunch(self, count: int) -> None:
+        self._running_total -= count
+        self._task_version += 1
+
+    @property
+    def started(self) -> bool:
+        """True once any task of this job has ever been launched."""
+        return any(sr.launched > 0 for sr in self.stages.values())
 
     # -------------------------------------------------------------------
     @property

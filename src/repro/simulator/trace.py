@@ -33,6 +33,11 @@ class TaskRecord:
     start: float
     work_start: float
     end: float
+    #: True when the task was killed mid-flight by a capacity disruption
+    #: (``SimulationStepper.set_capacity``). The interval ``[start, end]``
+    #: is the busy time actually consumed — wasted work, since the task
+    #: relaunches from scratch and re-appears as a later record.
+    preempted: bool = False
 
     def __post_init__(self) -> None:
         if not (self.start <= self.work_start <= self.end):
@@ -140,6 +145,38 @@ class ScheduleTrace:
 
     def add_task(self, record: TaskRecord) -> None:
         self.tasks.append(record)
+
+    def truncate_task(self, index: int, end: float) -> TaskRecord:
+        """Cut a launched task short at ``end`` and mark it preempted.
+
+        Called by the engine when a capacity disruption kills a running
+        task: the executor was busy (and accrued carbon) over
+        ``[start, end]``, but the work is lost. Invalidates the cached
+        interval arrays — this is the one place records mutate in place
+        without the count changing.
+        """
+        record = self.tasks[index]
+        truncated = TaskRecord(
+            job_id=record.job_id,
+            stage_id=record.stage_id,
+            task_index=record.task_index,
+            executor_id=record.executor_id,
+            start=record.start,
+            work_start=min(record.work_start, end),
+            end=end,
+            preempted=True,
+        )
+        self.tasks[index] = truncated
+        self._task_arrays = None
+        return truncated
+
+    def preempted_tasks(self) -> list[TaskRecord]:
+        """Records of tasks killed mid-flight by capacity disruptions."""
+        return [t for t in self.tasks if t.preempted]
+
+    def wasted_time(self) -> float:
+        """Executor-seconds consumed by preempted (re-run) tasks."""
+        return sum(t.busy_time for t in self.tasks if t.preempted)
 
     def add_hold(self, record: HoldRecord) -> None:
         self.holds.append(record)

@@ -26,6 +26,10 @@ SMOKE_EXAMPLES = [
         "geo_federation.py",
         {"EXECUTORS_PER_REGION": 4, "NUM_JOBS": 6, "SEED": 0},
     ),
+    (
+        "region_outage.py",
+        {"EXECUTORS_PER_REGION": 4, "NUM_JOBS": 6, "SEED": 0},
+    ),
 ]
 
 

@@ -1,0 +1,174 @@
+"""SHA-256 fingerprint tests: the engine's bit-identity contract.
+
+Seven pinned-seed scenarios — one per scheduler family (plain, holding,
+probabilistic, provisioned, combined) — are each fingerprinted over their
+task/hold/quota records and ex-post carbon tally. The suite pins three
+properties:
+
+- determinism: running the identical scenario twice produces the identical
+  fingerprint;
+- stepper equivalence: submitting everything up front and draining through
+  ``SimulationStepper`` reproduces ``Simulation.run()`` exactly;
+- disruption neutrality: a stepper with an *empty*
+  :class:`~repro.disrupt.schedule.DisruptionSchedule` installed (and the
+  no-op capacity verbs exercised) still replays bit-identically — the
+  disruption machinery is invisible until a schedule actually fires.
+"""
+
+import pytest
+
+from repro.carbon.api import CarbonIntensityAPI
+from repro.disrupt import (
+    DisruptionEvent,
+    DisruptionSchedule,
+    install_disruptions,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_scheduler,
+    carbon_trace_for,
+    workload_for,
+)
+from repro.simulator.engine import ClusterConfig, Simulation
+from repro.workloads.batch import WorkloadSpec
+
+from conftest import schedule_fingerprint
+
+#: The seven pinned-seed scenarios. Scheduler coverage spans every engine
+#: path: hoarding holds (fifo), per-job caps (k8s mode), probabilistic
+#: sampling (decima/pcaps), and both provisioners (cap-*, greenhadoop).
+PINNED_SCENARIOS = [
+    ExperimentConfig(
+        scheduler="fifo", num_executors=5, seed=0,
+        workload=WorkloadSpec(num_jobs=6, mean_interarrival=12.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="k8s-default", num_executors=6, seed=1, mode="kubernetes",
+        per_job_cap=3,
+        workload=WorkloadSpec(num_jobs=6, mean_interarrival=10.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="weighted-fair", num_executors=5, seed=2,
+        workload=WorkloadSpec(num_jobs=7, mean_interarrival=9.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="decima", num_executors=6, seed=3,
+        workload=WorkloadSpec(num_jobs=8, mean_interarrival=8.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="greenhadoop", num_executors=5, seed=4, gh_theta=0.6,
+        workload=WorkloadSpec(num_jobs=6, mean_interarrival=15.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="cap-decima", num_executors=6, seed=5, cap_min_quota=2,
+        workload=WorkloadSpec(num_jobs=7, mean_interarrival=10.0,
+                              tpch_scales=(2,)),
+    ),
+    ExperimentConfig(
+        scheduler="pcaps", num_executors=6, seed=6, gamma=0.7,
+        workload=WorkloadSpec(num_jobs=8, mean_interarrival=10.0,
+                              tpch_scales=(2,)),
+    ),
+]
+
+SCENARIO_IDS = [c.scheduler for c in PINNED_SCENARIOS]
+
+
+def build_simulation(config: ExperimentConfig) -> Simulation:
+    trace = carbon_trace_for(config)
+    scheduler, provisioner = build_scheduler(config, trace)
+    cluster = ClusterConfig(
+        num_executors=config.num_executors,
+        executor_move_delay=config.executor_move_delay,
+        per_job_executor_cap=(
+            config.per_job_cap if config.mode == "kubernetes" else None
+        ),
+        mode=config.mode,
+    )
+    return Simulation(
+        config=cluster,
+        scheduler=scheduler,
+        carbon_api=CarbonIntensityAPI(trace),
+        provisioner=provisioner,
+    )
+
+
+def run_fingerprint(config: ExperimentConfig) -> str:
+    return schedule_fingerprint(
+        build_simulation(config).run(workload_for(config))
+    )
+
+
+class TestPinnedFingerprints:
+    def test_scenarios_cover_seven_schedulers(self):
+        assert len(PINNED_SCENARIOS) == 7
+        assert len(set(SCENARIO_IDS)) == 7
+
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_rerun_is_bit_identical(self, config):
+        assert run_fingerprint(config) == run_fingerprint(config)
+
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_empty_disruption_schedule_is_bit_identical(self, config):
+        """The disruption machinery is invisible without a schedule."""
+        via_run = run_fingerprint(config)
+
+        stepper = build_simulation(config).stepper()
+        for sub in workload_for(config):
+            stepper.submit(sub)
+        installed = install_disruptions(stepper, DisruptionSchedule.empty())
+        assert installed == 0
+        # No-op verbs must not perturb the replay either.
+        stepper.resume(0.0)
+        stepper.set_capacity(0.0, config.num_executors)
+        stepper.run_to_completion()
+        assert stepper.preempted_tasks == 0
+        assert schedule_fingerprint(stepper.result()) == via_run
+
+
+class TestDisruptedDeterminism:
+    @pytest.mark.parametrize("scheduler", ["fifo", "pcaps", "cap-decima"])
+    def test_disrupted_rerun_is_bit_identical(self, scheduler):
+        """A pinned schedule yields the identical disrupted replay."""
+        config = ExperimentConfig(
+            scheduler=scheduler, num_executors=6, seed=11,
+            workload=WorkloadSpec(num_jobs=8, mean_interarrival=8.0,
+                                  tpch_scales=(2,)),
+        )
+        schedule = DisruptionSchedule.generate(
+            seed=5, horizon_s=400.0, num_outages=1, num_curtailments=1,
+            num_blackouts=1,
+        )
+
+        def run_once() -> str:
+            stepper = build_simulation(config).stepper()
+            for sub in workload_for(config):
+                stepper.submit(sub)
+            install_disruptions(stepper, schedule)
+            stepper.run_to_completion()
+            return schedule_fingerprint(stepper.result())
+
+        assert run_once() == run_once()
+
+    def test_disruption_changes_the_fingerprint(self):
+        """Sanity: a schedule that bites actually alters the replay."""
+        config = PINNED_SCENARIOS[0]
+        schedule = DisruptionSchedule(
+            events=(  # outage across the busy window
+                DisruptionEvent(kind="outage", start=30.0, end=300.0),
+            )
+        )
+        stepper = build_simulation(config).stepper()
+        for sub in workload_for(config):
+            stepper.submit(sub)
+        install_disruptions(stepper, schedule)
+        stepper.run_to_completion()
+        assert schedule_fingerprint(stepper.result()) != run_fingerprint(
+            config
+        )
+        assert stepper.preempted_tasks > 0

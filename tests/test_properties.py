@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.carbon.trace import CarbonTrace
 from repro.core.importance import relative_importance
 from repro.core.threshold import cap_thresholds, psi, solve_alpha
 from repro.dag.graph import JobDAG, Stage
@@ -16,7 +15,12 @@ from repro.schedulers.fifo import FIFOScheduler, KubernetesDefaultScheduler
 from repro.core.pcaps import PCAPSScheduler
 from repro.workloads.arrivals import JobSubmission
 
-from conftest import assert_valid_schedule, make_trace, run_sim
+from conftest import (
+    assert_valid_schedule,
+    make_trace,
+    run_sim,
+    schedule_fingerprint,
+)
 
 # ----------------------------------------------------------------------
 # Strategies
@@ -232,6 +236,54 @@ class TestEngineProperties:
         # Work conservation: busy task time equals the batch's total work.
         assert result.trace.total_task_time() == pytest.approx(
             sum(s.dag.total_work for s in subs)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dags=st.lists(random_dag(max_stages=5), min_size=1, max_size=4),
+        scheduler_index=st.integers(min_value=0, max_value=3),
+        values=carbon_values(),
+        cuts=st.lists(unit, min_size=4, max_size=4),
+    )
+    def test_interleaved_stepper_matches_run_fingerprint(
+        self, dags, scheduler_index, values, cuts
+    ):
+        """submit/advance_until at arbitrary cut points replays run().
+
+        The federation submits jobs mid-flight (and the disruption layer
+        interleaves capacity events); this pins that *any* legal
+        interleaving — each job submitted at a random instant before its
+        arrival, with the engine advanced between submissions — produces
+        the bit-identical schedule to submitting everything up front.
+        """
+        from repro.carbon.api import CarbonIntensityAPI
+        from repro.simulator.engine import ClusterConfig, Simulation
+
+        trace = make_trace(values, step_seconds=30.0)
+        subs = [
+            JobSubmission(arrival_time=i * 9.0, dag=dag, job_id=i)
+            for i, dag in enumerate(dags)
+        ]
+
+        def build():
+            return Simulation(
+                config=ClusterConfig(num_executors=3),
+                scheduler=SCHEDULER_FACTORIES[scheduler_index](),
+                carbon_api=CarbonIntensityAPI(trace),
+            )
+
+        via_run = build().run(subs)
+
+        stepper = build().stepper()
+        for sub, cut in zip(subs, cuts):
+            # Advance to a random instant at or before the arrival, then
+            # submit (advance_until processes strictly-before events, so
+            # cut == 1.0 is still a legal submission time).
+            stepper.advance_until(cut * sub.arrival_time)
+            stepper.submit(sub)
+        stepper.run_to_completion()
+        assert schedule_fingerprint(stepper.result()) == schedule_fingerprint(
+            via_run
         )
 
     @settings(max_examples=15, deadline=None)
