@@ -6,7 +6,6 @@ queue behind it, whereas the Kubernetes default's busy-executor count drops
 when few jobs are in the system; the default improves both carbon and JCT.
 """
 
-import numpy as np
 
 from repro.experiments.figures import fig15_fifo_vs_k8s
 from repro.simulator.metrics import compare_to_baseline

@@ -6,7 +6,6 @@ queued jobs, with PCAPS adding a small constant over Decima — all far below
 the runtimes of big-data stages.
 """
 
-import numpy as np
 
 from repro.experiments.figures import latency_profile
 

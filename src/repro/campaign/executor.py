@@ -206,7 +206,19 @@ class CampaignRunner:
         resume: bool = True,
         on_progress: ProgressCallback | None = None,
     ) -> CampaignRun:
-        """Execute every trial not already in the store."""
+        """Execute every trial of ``spec`` not already in the store.
+
+        Trials are deduplicated by content-addressed key (config hash ×
+        code version), stored records are reused when ``resume`` is true
+        (so re-runs and overlapping sweeps cost nothing), and the rest
+        fan out across the process pool with failure isolation — one
+        crashing trial is recorded with its traceback and excluded from
+        the cache, never killing the campaign. ``on_progress`` receives
+        ``(done, total, label)`` per completed trial. Returns a
+        :class:`CampaignRun` with per-trial records and cache stats;
+        aggregate tables come from :mod:`repro.campaign.reports` using
+        the store alone.
+        """
         started = time.perf_counter()
         keyed = self.keyed_trials(spec)
         completed = self.store.completed() if resume else {}

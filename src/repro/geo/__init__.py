@@ -9,6 +9,15 @@ timeline, and routes every arriving job through a pluggable
 :class:`RoutingPolicy`. A :class:`TransferModel` prices moving job inputs
 between regions, so spatial carbon shifting competes against network
 footprint instead of being free.
+
+Under disruptions (:mod:`repro.disrupt`), :class:`FailoverRouting` wraps
+any policy to steer arriving jobs away from down regions, and the
+coordinator migrates queued jobs out at each outage. Mind the honest
+finding from the pinned benchmark: failover rescues deadlines (2/48 →
+28/48 on-time) but *raises* total carbon ~2.3× vs riding the outage out
+— diverted jobs run in dirtier grids and migrated inputs ship twice.
+See :func:`run_federation` and the :mod:`repro.disrupt` package notes
+before treating failover as a default-on win.
 """
 
 from repro.geo.config import (

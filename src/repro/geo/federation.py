@@ -232,6 +232,19 @@ class Federation:
         return moves
 
     def run(self) -> FederationResult:
+        """Drive the whole federation trial to completion.
+
+        Synthesizes the (memoized) workload, assigns seeded origins,
+        builds the routing policy — wrapped in
+        :class:`~repro.geo.routing.FailoverRouting` when disruptions are
+        installed and ``config.failover`` is on — then walks the
+        coordination points in time order: every job arrival (route, pay
+        transfer carbon if the job leaves its origin, inject) and, with
+        migration on, every outage start (withdraw queued jobs from the
+        dead region and re-route them). After the last arrival each
+        region drains independently. A pinned config replays
+        byte-identically: same routing decisions, same carbon totals.
+        """
         config = self.config
         submissions = memoized_workload(config.workload, config.seed)
         origins = self._origins(submissions)
@@ -319,5 +332,19 @@ class Federation:
 
 
 def run_federation(config: FederationConfig) -> FederationResult:
-    """Build and run one federation trial (the one-call entry point)."""
+    """Build and run one federation trial (the one-call entry point).
+
+    .. note:: **Failover is not a free win.** With
+       ``config.disruptions`` set and ``failover=True``, jobs are
+       diverted away from down regions and queued work is migrated out —
+       which rescues deadlines but *costs* carbon: in the pinned
+       benchmark scenario (`benchmarks/bench_disrupt.py`) failover lifts
+       on-time completions from 2/48 to 28/48 and cuts ECT 4899s →
+       3553s, but total carbon rises ~2.3× vs riding the outage out,
+       because diverted jobs run in dirtier grids and migrated inputs
+       ship twice. Treat ``failover``/``migrate`` as policy knobs weighed
+       against deadline pressure, and read
+       ``FederationResult.failover_transfer_carbon_g`` plus the compute
+       ledger before concluding resilience helped.
+    """
     return Federation(config).run()

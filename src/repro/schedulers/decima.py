@@ -36,7 +36,7 @@ import math
 import numpy as np
 
 from repro.simulator.interfaces import ProbabilisticPolicy
-from repro.simulator.state import ClusterView, ReadyStage
+from repro.simulator.state import ClusterView, FrontierArrays, ReadyStage
 
 
 class DecimaScheduler(ProbabilisticPolicy):
@@ -54,6 +54,10 @@ class DecimaScheduler(ProbabilisticPolicy):
     """
 
     name = "decima"
+    #: Sampling runs on FrontierArrays columns; ``scores`` below is the
+    #: reference implementation the columnar expression must match bit-for-
+    #: bit (pinned by the fingerprint suite and the equivalence tests).
+    vectorized = True
 
     def __init__(
         self,
@@ -67,6 +71,13 @@ class DecimaScheduler(ProbabilisticPolicy):
         self.srpt_weight = srpt_weight
         self.bottleneck_weight = bottleneck_weight
         self.locality_weight = locality_weight
+        # (matrix object, raw scores, denominator) of the last frontier
+        # scored; see _raw_scores.
+        self._score_cache: tuple | None = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._score_cache = None
 
     def scores(self, view: ClusterView, ready: list[ReadyStage]) -> np.ndarray:
         remaining = {
@@ -101,6 +112,58 @@ class DecimaScheduler(ProbabilisticPolicy):
                 + locality_term[job_id]
             )
         return out
+
+    def scores_from_arrays(
+        self, view: ClusterView, frontier: FrontierArrays
+    ) -> np.ndarray:
+        """Vectorized :meth:`scores`: one array expression per score term.
+
+        Elementwise IEEE-754 operations in the exact order of the scalar
+        loop above — ``(srpt + bottleneck_weight * bottleneck) + locality``
+        with ``srpt = srpt_weight * (1 - remaining / denominator)`` — so
+        every score, and therefore every softmax weight and RNG draw, is
+        bit-identical to the tuple path.
+        """
+        remaining = frontier.remaining_work
+        denominator = max(float(remaining.max()), 1e-9)
+        srpt = self.srpt_weight * (1.0 - remaining / denominator)
+        locality = self.locality_weight * (
+            frontier.executors_in_use > 0
+        ).astype(float)
+        return srpt + self.bottleneck_weight * frontier.bottleneck + locality
+
+    def _raw_scores(self, view: ClusterView, frontier) -> np.ndarray:
+        """Score-cache interposer for the sampling entry points.
+
+        Decima's scores are a pure function of the frontier matrix, so
+        the same matrix object scores identically (cache hit by identity).
+        A row-filtered matrix (blocked entries dropped mid-pass) whose
+        parent is the cached matrix reuses the parent's per-row scores
+        whenever the SRPT denominator — the only cross-row term —
+        survived the filter: each kept row's score then has bit-identical
+        inputs, so slicing the cached array equals recomputing. The cache
+        stays anchored to the unfiltered matrix (filters within one
+        scheduling pass all derive from it), and both shortcuts preserve
+        the fingerprint contract exactly.
+        """
+        cached = self._score_cache
+        data = frontier.data
+        if cached is not None:
+            if cached[0] is data:
+                return cached[1]
+            if frontier.parent_data is not None and cached[0] is frontier.parent_data:
+                remaining = frontier.remaining_work
+                if remaining.size:
+                    denominator = max(float(remaining.max()), 1e-9)
+                    if denominator == cached[2]:
+                        return cached[1][frontier.filter_mask]
+        raw = self.scores_from_arrays(view, frontier)
+        if frontier.parent_data is None:
+            denominator = max(
+                float(frontier.remaining_work.max()), 1e-9
+            ) if len(frontier) else 1e-9
+            self._score_cache = (data, raw, denominator)
+        return raw
 
     def parallelism_limit(self, view: ClusterView, choice: ReadyStage) -> int:
         """Split the cluster among active jobs (Decima's learned moderation).

@@ -374,6 +374,14 @@ class SimulationStepper:
         # Shared per-job ready-stage cache, reused across consecutive views
         # while no launch/finish touched the job (see ClusterView).
         self._ready_cache: dict[tuple[int, bool], tuple] = {}
+        # Its columnar twin: per-job FrontierArrays blocks for the
+        # vectorized scheduler path, same keys and validity rule.
+        self._column_cache: dict[tuple[int, bool], tuple] = {}
+        # Bumped on every frontier-changing event (arrival, launch, finish,
+        # preemption, withdrawal); two views with equal epochs see an
+        # identical active set and identical per-job task versions, which
+        # keys ClusterView's whole-matrix frontier cache.
+        self._frontier_epoch = 0
         # -- disruption state (inert unless the disrupt verbs are used) --
         #: Executors currently online; set_capacity/suspend/resume move it.
         self.capacity = sim.config.num_executors
@@ -499,6 +507,7 @@ class SimulationStepper:
         token = max(self._inflight)
         job_id, stage_id, executor_id, trace_index = self._inflight.pop(token)
         self._cancelled.add(token)
+        self._frontier_epoch += 1
         self.jobs[job_id].stages[stage_id].unlaunch()
         self.trace.truncate_task(trace_index, t)
         self._offline.append(executor_id)
@@ -540,10 +549,14 @@ class SimulationStepper:
             return None
         del self.jobs[job_id]
         del self.active[job_id]
+        self._frontier_epoch += 1
         self._submitted -= 1
         if self._ready_cache is not None:
             self._ready_cache.pop((job_id, False), None)
             self._ready_cache.pop((job_id, True), None)
+        if self._column_cache is not None:
+            self._column_cache.pop((job_id, False), None)
+            self._column_cache.pop((job_id, True), None)
         return JobSubmission(
             arrival_time=job.arrival_time, dag=job.dag, job_id=job_id
         )
@@ -600,6 +613,7 @@ class SimulationStepper:
                 )
                 jobs[sub.job_id] = job
                 active[sub.job_id] = job
+                self._frontier_epoch += 1
                 self._pending_arrivals -= 1
                 self._pending_work -= sub.dag.total_work
                 self._pending_subs.pop(sub.job_id, None)
@@ -609,6 +623,7 @@ class SimulationStepper:
                     self._cancelled.discard(token)
                     continue  # task was preempted; its relaunch is pending
                 del self._inflight[token]
+                self._frontier_epoch += 1
                 job_done = jobs[job_id].record_task_finish(stage_id, now)
                 pool.release(executor_id, job_id, hold=holds and not job_done)
                 if job_done:
@@ -618,6 +633,9 @@ class SimulationStepper:
                     if self._ready_cache is not None:
                         self._ready_cache.pop((job_id, False), None)
                         self._ready_cache.pop((job_id, True), None)
+                    if self._column_cache is not None:
+                        self._column_cache.pop((job_id, False), None)
+                        self._column_cache.pop((job_id, True), None)
                     if holds:
                         # Close the job's hold intervals, free its roster.
                         pool.unreserve(job_id)
@@ -668,6 +686,8 @@ class SimulationStepper:
                 reserved_free=pool.reserved_counts(),
                 active=active,
                 ready_cache=self._ready_cache,
+                column_cache=self._column_cache,
+                frontier_epoch=self._frontier_epoch,
             )
             quota = max(1, min(sim.provisioner.quota(pre_view), quota))
         if capacity < quota:
@@ -675,21 +695,29 @@ class SimulationStepper:
         trace.add_quota(now, quota)
 
         blocked: set[tuple[int, int]] = set()
+        view: ClusterView | None = None
         while pool.free_count > 0 and busy < quota:
-            view = ClusterView(
-                time=now,
-                total_executors=capacity,
-                busy_executors=busy,
-                quota=quota,
-                jobs=jobs,
-                carbon=reading,
-                per_job_cap=config.per_job_executor_cap,
-                blocked=frozenset(blocked),
-                general_free=pool.general_free,
-                reserved_free=pool.reserved_counts(),
-                active=active,
-                ready_cache=self._ready_cache,
-            )
+            # A blocked choice changes nothing but the blocked set, so the
+            # view is reused across those retries (with its caches
+            # invalidated via block()); a successful grant changes
+            # occupancy and forces a fresh snapshot.
+            if view is None:
+                view = ClusterView(
+                    time=now,
+                    total_executors=capacity,
+                    busy_executors=busy,
+                    quota=quota,
+                    jobs=jobs,
+                    carbon=reading,
+                    per_job_cap=config.per_job_executor_cap,
+                    blocked=frozenset(blocked),
+                    general_free=pool.general_free,
+                    reserved_free=pool.reserved_counts(),
+                    active=active,
+                    ready_cache=self._ready_cache,
+                    column_cache=self._column_cache,
+                    frontier_epoch=self._frontier_epoch,
+                )
             if not view.has_assignable():
                 break
             if sim.measure_latency:
@@ -725,6 +753,7 @@ class SimulationStepper:
                 )
             if assignable <= 0:
                 blocked.add((choice.job_id, choice.stage_id))
+                view.block(choice.job_id, choice.stage_id)
                 continue
             for _ in range(assignable):
                 executor_id, needs_move = pool.take(choice.job_id)
@@ -764,6 +793,8 @@ class SimulationStepper:
                     (choice.job_id, choice.stage_id, executor_id, token),
                 )
                 busy += 1
+            self._frontier_epoch += 1
+            view = None
 
         # Keep carbon steps flowing while any work is outstanding, so
         # deferrals always have a future scheduling event to wake on.

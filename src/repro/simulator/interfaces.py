@@ -17,7 +17,57 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.simulator.state import ClusterView, ReadyStage
+from repro.simulator.state import ClusterView, FrontierArrays, ReadyStage
+
+
+def _verify_inline_choice() -> bool:
+    """Check that the inlined sampler reproduces ``Generator.choice``.
+
+    The vectorized sampling path inlines the cumsum/searchsorted core of
+    ``Generator.choice(n, p=...)`` to skip its per-call validation
+    overhead. The inline is only used when this probe — a spread of sizes,
+    skews, and seeds, including the post-draw generator state — confirms
+    the installed numpy's ``choice`` consumes and transforms randomness
+    the same way; otherwise the real method is called and only the
+    validation savings are lost.
+    """
+    probe = np.random.default_rng(0)
+    for _ in range(64):
+        n = int(probe.integers(1, 40))
+        weights = probe.random(n) ** 2 + 1e-12
+        p = weights / weights.sum()
+        seed = int(probe.integers(0, 2**31))
+        real, ours = np.random.default_rng(seed), np.random.default_rng(seed)
+        cdf = p.cumsum()
+        cdf /= cdf[-1]
+        if int(real.choice(n, p=p)) != int(
+            cdf.searchsorted(ours.random(), side="right")
+        ):
+            return False
+        if real.random() != ours.random():
+            return False
+    return True
+
+
+_INLINE_CHOICE_OK: bool | None = None
+
+
+def _sample_index(rng: np.random.Generator, p: np.ndarray) -> int:
+    """``int(rng.choice(len(p), p=p))``, minus the validation overhead.
+
+    Bit-identical to the real call (same cdf arithmetic, same single
+    ``rng.random()`` draw), enforced by :func:`_verify_inline_choice` once
+    per process with automatic fallback — so the tuple and columnar
+    scheduler paths always sample identically.
+    """
+    global _INLINE_CHOICE_OK
+    if _INLINE_CHOICE_OK is None:
+        _INLINE_CHOICE_OK = _verify_inline_choice()
+    if _INLINE_CHOICE_OK:
+        cdf = p.cumsum()
+        cdf /= cdf[-1]
+        return int(cdf.searchsorted(rng.random(), side="right"))
+    return int(rng.choice(len(p), p=p))
 
 
 @dataclass(frozen=True)
@@ -67,7 +117,20 @@ class ProbabilisticPolicy(StageScheduler):
     Subclasses implement :meth:`scores`; the base class converts scores to a
     masked-softmax distribution, samples from it, and exposes both — which is
     exactly the interface PCAPS consumes (probabilities plus a sampled node).
+
+    Subclasses that can score the frontier as one array expression set
+    ``vectorized = True`` and implement :meth:`scores_from_arrays`; the
+    sampling entry points (:meth:`select`, :meth:`sample_with_importance`)
+    then operate on :class:`~repro.simulator.state.FrontierArrays` columns
+    instead of per-entry tuples — same floats, same RNG draws, so sampled
+    schedules are bit-identical to the tuple path (the property the
+    pinned-fingerprint suite enforces).
     """
+
+    #: True when :meth:`scores_from_arrays` is implemented and the sampling
+    #: entry points should take the columnar fast path. Subclasses that only
+    #: override :meth:`scores` keep the tuple path.
+    vectorized: bool = False
 
     def __init__(self, seed: int | None = 0, temperature: float = 1.0) -> None:
         if temperature <= 0:
@@ -75,17 +138,59 @@ class ProbabilisticPolicy(StageScheduler):
         self.temperature = temperature
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+        # (matrix object, probs, assignable) of the last columnar frontier
+        # scored; see sample_with_importance.
+        self._dist_cache: tuple | None = None
 
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
+        self._dist_cache = None
 
     @abc.abstractmethod
     def scores(self, view: ClusterView, ready: list[ReadyStage]) -> np.ndarray:
         """Unnormalized preference scores, one per entry of ``ready``."""
 
+    def scores_from_arrays(
+        self, view: ClusterView, frontier: FrontierArrays
+    ) -> np.ndarray:
+        """Columnar twin of :meth:`scores` (only when ``vectorized``).
+
+        Must return, for any frontier, the bit-identical float per entry
+        that :meth:`scores` returns for the equivalent tuple list: the
+        sampling entry points feed the result into the same softmax and
+        RNG, and the engine's replay determinism rests on the two paths
+        agreeing exactly.
+
+        Must also be a *pure function of the frontier matrix*
+        (``frontier.data``): the sampling entry points cache the scored
+        distribution per matrix object, so scores that secretly read
+        other view state would go stale. Policies that need such state
+        must keep ``vectorized = False``.
+        """
+        raise NotImplementedError
+
+    def _raw_scores(
+        self, view: ClusterView, frontier: FrontierArrays
+    ) -> np.ndarray:
+        """Hook between the sampling entry points and
+        :meth:`scores_from_arrays`; subclasses may interpose caching (see
+        :class:`~repro.schedulers.decima.DecimaScheduler`)."""
+        return self.scores_from_arrays(view, frontier)
+
     def parallelism_limit(self, view: ClusterView, choice: ReadyStage) -> int:
         """Parallelism limit for a chosen stage (default: all its tasks)."""
         return choice.stage.num_tasks
+
+    def _softmax(self, raw: np.ndarray) -> np.ndarray:
+        """Temperature-scaled softmax, shared by both scoring paths.
+
+        One function on purpose: the float operation order is part of the
+        bit-identity contract between the tuple and columnar paths.
+        """
+        scaled = raw / self.temperature
+        scaled -= scaled.max()
+        weights = np.exp(scaled)
+        return weights / weights.sum()
 
     def distribution(
         self, view: ClusterView, ready: list[ReadyStage]
@@ -96,10 +201,7 @@ class ProbabilisticPolicy(StageScheduler):
         raw = np.asarray(self.scores(view, ready), dtype=float)
         if raw.shape != (len(ready),):
             raise ValueError("scores must return one value per ready stage")
-        scaled = raw / self.temperature
-        scaled -= scaled.max()
-        weights = np.exp(scaled)
-        return weights / weights.sum()
+        return self._softmax(raw)
 
     def sample(
         self, view: ClusterView, ready: list[ReadyStage]
@@ -120,6 +222,41 @@ class ProbabilisticPolicy(StageScheduler):
         restricted to assignable stages, mirroring Decima's action mask.
         Returns ``None`` when nothing is assignable.
         """
+        if self.vectorized:
+            full = view.frontier_arrays(include_saturated=True)
+            data = full.data
+            cache = self._dist_cache
+            if cache is not None and cache[0] is data:
+                # Same matrix object as the last call (nothing launched or
+                # finished in between — e.g. a deferral streak across
+                # carbon steps): the distribution is unchanged; only the
+                # RNG advances.
+                probs, assignable = cache[1], cache[2]
+            else:
+                assignable = np.flatnonzero(full.slots > 0)
+                probs = None
+            unfiltered = full.parent_data is None
+            if assignable.size == 0:
+                if unfiltered:
+                    self._dist_cache = (data, None, assignable)
+                return None
+            if probs is None:
+                probs = self._softmax(self._raw_scores(view, full))
+                # Only unfiltered matrices repeat across calls (mid-pass
+                # filtered retries are one-shot); caching them would evict
+                # the reusable entry.
+                if unfiltered:
+                    self._dist_cache = (data, probs, assignable)
+            weights = probs[assignable]
+            total = weights.sum()
+            if total <= 0:
+                weights = np.full(len(assignable), 1.0 / len(assignable))
+            else:
+                weights = weights / total
+            pick = int(assignable[_sample_index(self._rng, weights)])
+            peak = probs.max()
+            importance = float(probs[pick] / peak) if peak > 0 else 1.0
+            return full.entry(pick), importance
         full = view.ready_stages(include_saturated=True)
         assignable = [i for i, r in enumerate(full) if r.slots > 0]
         if not assignable:
@@ -137,12 +274,23 @@ class ProbabilisticPolicy(StageScheduler):
         return full[pick], importance
 
     def select(self, view: ClusterView) -> StageChoice | None:
-        ready = view.ready_stages()
-        ready = [r for r in ready if r.slots > 0]
-        if not ready:
-            return None
-        index, _ = self.sample(view, ready)
-        chosen = ready[index]
+        if self.vectorized:
+            frontier = view.frontier_arrays()
+            mask = frontier.slots > 0
+            if not mask.any():
+                return None
+            if not mask.all():
+                frontier = frontier.compress(mask)
+            probs = self._softmax(self._raw_scores(view, frontier))
+            index = _sample_index(self._rng, probs)
+            chosen = frontier.entry(index)
+        else:
+            ready = view.ready_stages()
+            ready = [r for r in ready if r.slots > 0]
+            if not ready:
+                return None
+            index, _ = self.sample(view, ready)
+            chosen = ready[index]
         return StageChoice(
             job_id=chosen.job_id,
             stage_id=chosen.stage_id,

@@ -9,6 +9,15 @@ incrementally (updated on stage completion rather than re-derived from the
 DAG per call) and memoizes the per-job aggregates behind monotone version
 counters, so cached values are the exact floats a from-scratch recompute
 would produce — simulation results stay bit-identical.
+
+The frontier has two representations sharing one maintenance scheme:
+:meth:`ClusterView.ready_stages` yields :class:`ReadyStage` tuples (the
+compatibility view FIFO/CAP/GreenHadoop walk), while
+:meth:`ClusterView.frontier_arrays` yields the columnar
+:class:`FrontierArrays` the vectorized probabilistic schedulers operate
+on. Both are backed by engine-shared per-job caches keyed on the job's
+task version and effective executor budget, and both produce bit-equal
+fields for the same frontier.
 """
 
 from __future__ import annotations
@@ -16,6 +25,8 @@ from __future__ import annotations
 from bisect import insort
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, NamedTuple
+
+import numpy as np
 
 from repro.carbon.api import CarbonReading
 from repro.dag.graph import JobDAG, Stage
@@ -275,6 +286,152 @@ class ReadyStage(NamedTuple):
     slots: int
 
 
+class FrontierArrays:
+    """Columnar snapshot of the ready frontier (Definition 4.1's ``A_t``).
+
+    Holds the same entries :meth:`ClusterView.ready_stages` would produce —
+    in the same order — but as parallel numpy columns instead of a list of
+    :class:`ReadyStage` tuples, plus the per-job aggregates the vectorized
+    schedulers consume (remaining work, executors in use, bottleneck
+    scores). One ``(n, 8)`` float64 matrix backs all columns; every count
+    and id is far below 2**53, so the float representation is exact and
+    ``entry()`` can reconstruct the identical :class:`ReadyStage` for any
+    row.
+
+    Contract (relied on by :class:`~repro.simulator.interfaces.
+    ProbabilisticPolicy` and pinned by the fingerprint suite):
+
+    - rows appear in ``ready_stages`` order (active jobs in arrival order,
+      stages in topological order within a job);
+    - ``slots``/``unlaunched``/``running`` are bit-equal to the tuple
+      fields; ``bottleneck``/``remaining_work`` are the exact floats the
+      memoized :class:`JobRuntime` accessors return (they *are* those
+      values, copied once per cache rebuild);
+    - the instance is immutable once handed to a scheduler.
+    """
+
+    __slots__ = ("data", "_jobs", "parent_data", "filter_mask")
+
+    #: Column indices of :attr:`data`.
+    JOB_ID, STAGE_ID, UNLAUNCHED, RUNNING, SLOTS = 0, 1, 2, 3, 4
+    BOTTLENECK, REMAINING_WORK, EXECUTORS_IN_USE = 5, 6, 7
+    NUM_COLS = 8
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        jobs: Mapping[int, "JobRuntime"],
+        parent_data: np.ndarray | None = None,
+        filter_mask: np.ndarray | None = None,
+    ) -> None:
+        self.data = data
+        self._jobs = jobs
+        #: Provenance of row-filtered instances: the matrix this one was
+        #: masked out of, and the boolean mask applied. Score caches use
+        #: the pair to derive filtered scores from scores of the parent
+        #: (see :meth:`DecimaScheduler.scores_from_arrays`'s caching) —
+        #: ``None`` for unfiltered instances.
+        self.parent_data = parent_data
+        self.filter_mask = filter_mask
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # -- columns (views into the backing matrix, no copies) -------------
+    @property
+    def job_ids(self) -> np.ndarray:
+        return self.data[:, self.JOB_ID]
+
+    @property
+    def stage_ids(self) -> np.ndarray:
+        return self.data[:, self.STAGE_ID]
+
+    @property
+    def unlaunched(self) -> np.ndarray:
+        return self.data[:, self.UNLAUNCHED]
+
+    @property
+    def running(self) -> np.ndarray:
+        return self.data[:, self.RUNNING]
+
+    @property
+    def slots(self) -> np.ndarray:
+        return self.data[:, self.SLOTS]
+
+    @property
+    def bottleneck(self) -> np.ndarray:
+        """Per-entry bottleneck score of (job, stage) over the remaining DAG."""
+        return self.data[:, self.BOTTLENECK]
+
+    @property
+    def remaining_work(self) -> np.ndarray:
+        """Per-entry remaining executor-seconds of the entry's *job*."""
+        return self.data[:, self.REMAINING_WORK]
+
+    @property
+    def executors_in_use(self) -> np.ndarray:
+        """Per-entry count of executors the entry's *job* currently holds."""
+        return self.data[:, self.EXECUTORS_IN_USE]
+
+    # -------------------------------------------------------------------
+    def compress(self, mask: np.ndarray) -> "FrontierArrays":
+        """Rows selected by a boolean mask, as a new instance."""
+        return FrontierArrays(
+            self.data[mask], self._jobs,
+            parent_data=self.data, filter_mask=mask,
+        )
+
+    def entry(self, index: int) -> ReadyStage:
+        """Materialize row ``index`` as the equivalent :class:`ReadyStage`."""
+        row = self.data[index]
+        job_id = int(row[self.JOB_ID])
+        stage_id = int(row[self.STAGE_ID])
+        return ReadyStage(
+            job_id,
+            stage_id,
+            self._jobs[job_id].stages[stage_id].stage,
+            int(row[self.UNLAUNCHED]),
+            int(row[self.RUNNING]),
+            int(row[self.SLOTS]),
+        )
+
+    def entries(self) -> list[ReadyStage]:
+        """All rows as :class:`ReadyStage` tuples (tests, slow paths)."""
+        return [self.entry(i) for i in range(len(self))]
+
+    @staticmethod
+    def from_entries(
+        entries: list[ReadyStage], jobs: Mapping[int, "JobRuntime"]
+    ) -> "FrontierArrays":
+        """Build the columnar form of an existing entry list.
+
+        The from-scratch reference construction: the incremental path
+        (`ClusterView.frontier_arrays` with its shared caches) must always
+        produce the matrix this would. The per-job aggregates come from
+        the same memoized accessors the incremental path reads, so both
+        constructions yield identical matrices — the property
+        ``tests/test_frontier_arrays.py`` pins against random operation
+        interleavings.
+        """
+        data = np.empty((len(entries), FrontierArrays.NUM_COLS))
+        for i, r in enumerate(entries):
+            job = jobs[r.job_id]
+            data[i] = (
+                r.job_id,
+                r.stage_id,
+                r.unlaunched,
+                r.running,
+                r.slots,
+                job.bottleneck_scores().get(r.stage_id, 0.0),
+                job.remaining_work(),
+                job.executors_in_use,
+            )
+        return FrontierArrays(data, jobs)
+
+
+_EMPTY_FRONTIER = np.empty((0, FrontierArrays.NUM_COLS))
+
+
 class ClusterView:
     """Read-only snapshot handed to schedulers at a scheduling event.
 
@@ -300,6 +457,8 @@ class ClusterView:
         reserved_free: dict[int, int] | None = None,
         active: Mapping[int, JobRuntime] | None = None,
         ready_cache: dict[tuple[int, bool], tuple] | None = None,
+        column_cache: dict[tuple[int, bool], tuple] | None = None,
+        frontier_epoch: int | None = None,
     ) -> None:
         self.time = time
         self.total_executors = total_executors
@@ -321,6 +480,27 @@ class ClusterView:
         #: (or saturating, see ready_stages) reuses its entry list verbatim
         #: instead of re-walking its frontier.
         self._shared_ready = ready_cache
+        #: Engine-owned per-job *columnar* cache, the array twin of
+        #: ``_shared_ready``: each value is ``(task_version, effective_cap,
+        #: saturation, block)`` where ``block`` is the job's ``(n, 8)``
+        #: float64 slice of a :class:`FrontierArrays` matrix. Maintained
+        #: incrementally under the identical validity rule, so the
+        #: vectorized schedulers never pay for entry-list construction and
+        #: the tuple path never pays for array construction.
+        self._shared_columns = column_cache
+        self._fa_cache: dict[bool, FrontierArrays] = {}
+        #: Blocked pairs in arrival order plus the boolean masks already
+        #: derived from them, so each block() retry extends the previous
+        #: mask with one pair instead of re-deriving the conjunction.
+        self._blocked_seq: list[tuple[int, int]] = list(blocked)
+        self._mask_state: dict[bool, tuple] = {}
+        #: Engine frontier epoch: bumped by the stepper on every event that
+        #: can change any job's frontier (arrival, launch, finish,
+        #: preemption, withdrawal). Equal epochs across two views guarantee
+        #: identical active sets and per-job task versions, enabling the
+        #: whole-matrix cache in :meth:`frontier_arrays`. ``None`` (hand-
+        #: built views) disables that cache.
+        self._frontier_epoch = frontier_epoch
         #: Executors in the shared pool (any job may take these). Under
         #: hoarding semantics idle-but-bound executors are *not* here.
         self.general_free = (
@@ -452,6 +632,183 @@ class ClusterView:
             out.extend(entries)
         self._ready_cache[include_saturated] = out
         return out
+
+    def frontier_arrays(self, include_saturated: bool = False) -> FrontierArrays:
+        """The frontier of :meth:`ready_stages`, in columnar form.
+
+        Row ``i`` corresponds element-for-element to entry ``i`` of the
+        tuple list — same jobs, same order, bit-equal fields — augmented
+        with the per-job aggregates (bottleneck score, remaining work,
+        executors in use) the vectorized schedulers consume. Per-job
+        blocks are maintained incrementally in the engine-shared column
+        cache under the exact validity rule the entry-list cache uses
+        (task version + effective executor budget with saturation
+        normalization), so consecutive views rebuild only the jobs that
+        launched or finished tasks in between. Cached per view, like
+        :meth:`ready_stages`.
+        """
+        cached = self._fa_cache.get(include_saturated)
+        if cached is not None:
+            return cached
+        quota_room = max(0, self.quota - self.busy_executors)
+        general_free = self.general_free
+        reserved_free = self.reserved_free
+        per_job_cap = self.per_job_cap
+        shared = self._shared_columns
+        # Whole-matrix fast path: with no per-job executor cap and no
+        # hoarded reservations, every job shares one scalar budget, so an
+        # unchanged (epoch, budget) pair — or two budgets both at or above
+        # the stored saturation point — guarantees the previously
+        # concatenated matrix is the one this walk would rebuild. This is
+        # the dominant case for the vectorized schedulers (they don't
+        # hold executors), and it turns the per-view cost of a deferred or
+        # blocked scheduling pass into two integer compares.
+        view_key = None
+        epoch = self._frontier_epoch
+        if (
+            epoch is not None
+            and shared is not None
+            and per_job_cap is None
+            and not reserved_free
+        ):
+            scalar_budget = min(quota_room, general_free)
+            view_key = ("view", include_saturated)
+            hit = shared.get(view_key)
+            if (
+                hit is not None
+                and hit[0] == epoch
+                and (
+                    hit[1] == scalar_budget
+                    or (hit[1] >= hit[2] and scalar_budget >= hit[2])
+                )
+            ):
+                return self._finish_frontier(hit[3], include_saturated)
+        blocks: list[np.ndarray] = []
+        global_saturation = 0
+        for job in self.active_jobs():
+            job_id = job.job_id
+            job_pool = general_free + (
+                reserved_free.get(job_id, 0) if reserved_free else 0
+            )
+            budget = min(quota_room, job_pool)
+            job_headroom = (
+                per_job_cap - job.executors_in_use
+                if per_job_cap is not None
+                else budget
+            )
+            if job_headroom < 0:
+                job_headroom = 0
+            effective_cap = budget if budget < job_headroom else job_headroom
+            if shared is not None:
+                hit = shared.get((job_id, include_saturated))
+                if (
+                    hit is not None
+                    and hit[0] == job.task_version
+                    and (
+                        hit[1] == effective_cap
+                        or (hit[1] >= hit[2] and effective_cap >= hit[2])
+                    )
+                ):
+                    if hit[2] > global_saturation:
+                        global_saturation = hit[2]
+                    blocks.append(hit[3])
+                    continue
+            rows: list[tuple] = []
+            stages = job.stages
+            remaining = None
+            in_use = None
+            bottlenecks = None
+            saturation = 0
+            for sid in job.ready_stage_ids(include_running=include_saturated):
+                if remaining is None:
+                    remaining = job.remaining_work()
+                    in_use = job.executors_in_use
+                    bottlenecks = job.bottleneck_scores()
+                runtime = stages[sid]
+                unlaunched = runtime.stage.num_tasks - runtime.launched
+                if unlaunched > saturation:
+                    saturation = unlaunched
+                slots = min(unlaunched, budget, job_headroom)
+                rows.append(
+                    (
+                        job_id,
+                        sid,
+                        unlaunched,
+                        runtime.launched - runtime.finished,
+                        slots,
+                        bottlenecks.get(sid, 0.0),
+                        remaining,
+                        in_use,
+                    )
+                )
+            block = (
+                np.array(rows, dtype=float) if rows else _EMPTY_FRONTIER
+            )
+            if shared is not None:
+                shared[(job_id, include_saturated)] = (
+                    job.task_version, effective_cap, saturation, block,
+                )
+            if saturation > global_saturation:
+                global_saturation = saturation
+            blocks.append(block)
+        if not blocks:
+            data = _EMPTY_FRONTIER
+        elif len(blocks) == 1:
+            data = blocks[0]
+        else:
+            data = np.concatenate(blocks)
+        if view_key is not None:
+            shared[view_key] = (
+                epoch, scalar_budget, global_saturation, data,
+            )
+        return self._finish_frontier(data, include_saturated)
+
+    def _finish_frontier(
+        self, data: np.ndarray, include_saturated: bool
+    ) -> FrontierArrays:
+        """Apply the per-pass blocked filter and cache the result per view.
+
+        Entries blocked earlier in this scheduling pass are dropped at the
+        view level, so both the per-job cached blocks and the whole-matrix
+        cache stay valid (unlike the tuple path, which must bypass its
+        cache when anything is blocked). The blocked set is tiny; the mask
+        conjunction is order-independent.
+        """
+        seq = self._blocked_seq
+        if seq and len(data):
+            state = self._mask_state.get(include_saturated)
+            if state is not None and state[0] is data:
+                applied, mask = state[1], state[2]
+            else:
+                applied, mask = 0, None
+            if applied < len(seq):
+                job_col = data[:, FrontierArrays.JOB_ID]
+                stage_col = data[:, FrontierArrays.STAGE_ID]
+                for job_id, stage_id in seq[applied:]:
+                    keep = (job_col != job_id) | (stage_col != stage_id)
+                    mask = keep if mask is None else mask & keep
+                self._mask_state[include_saturated] = (data, len(seq), mask)
+            out = FrontierArrays(
+                data[mask], self._jobs, parent_data=data, filter_mask=mask
+            )
+        else:
+            out = FrontierArrays(data, self._jobs)
+        self._fa_cache[include_saturated] = out
+        return out
+
+    def block(self, job_id: int, stage_id: int) -> None:
+        """Engine-only: add one blocked entry and invalidate view caches.
+
+        Between a blocked choice and the next ``select`` retry nothing in
+        the cluster changes except the blocked set, so the engine reuses
+        this view (skipping snapshot construction) and records the block
+        here. Schedulers must never call this — the view they receive is
+        immutable for the duration of their ``select``.
+        """
+        self._blocked = frozenset((*self._blocked, (job_id, stage_id)))
+        self._blocked_seq.append((job_id, stage_id))
+        self._ready_cache.clear()
+        self._fa_cache.clear()
 
     def has_assignable(self) -> bool:
         """True iff any ready stage could receive an executor right now.
