@@ -34,6 +34,7 @@ from repro.campaign.store import (
 )
 from repro.carbon.trace import CarbonTrace
 from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs.observer import current as _current_observer
 from repro.simulator.metrics import ExperimentResult
 
 #: ``on_progress(completed, total, line)`` — called once per finished trial
@@ -220,6 +221,8 @@ class CampaignRunner:
         the store alone.
         """
         started = time.perf_counter()
+        observer = _current_observer()
+        span_start = observer.tracer.now_us() if observer is not None else 0.0
         keyed = self.keyed_trials(spec)
         completed = self.store.completed() if resume else {}
 
@@ -231,6 +234,16 @@ class CampaignRunner:
             else:
                 pending.append((key, config))
         stats = CacheStats(hits=len(records), misses=len(pending))
+
+        if observer is not None:
+            registry = observer.registry
+            registry.counter("campaign.store.hits").inc(stats.hits)
+            registry.counter("campaign.store.misses").inc(stats.misses)
+            obs_ok = registry.counter("campaign.trials.ok")
+            obs_failed = registry.counter("campaign.trials.failed")
+            tracer = observer.tracer
+        else:
+            obs_ok = obs_failed = tracer = None
 
         total = len(keyed)
         done = 0
@@ -246,6 +259,17 @@ class CampaignRunner:
             self.store.append(record)
             records[record.key] = record
             done += 1
+            if tracer is not None:
+                dur_us = record.duration_s * 1e6
+                tracer.complete(
+                    f"trial {self.label_for(record)}",
+                    start_us=max(0.0, tracer.now_us() - dur_us),
+                    dur_us=dur_us,
+                    cat="campaign",
+                    key=record.key[:12],
+                    ok=record.ok,
+                )
+                (obs_ok if record.ok else obs_failed).inc()
             if on_progress is not None:
                 verb = "ok   " if record.ok else "FAIL "
                 label = self.label_for(record)
@@ -266,11 +290,30 @@ class CampaignRunner:
                     finish(future.result())
 
         ordered = [records[key] for key, _ in keyed if key in records]
+        wall_time_s = time.perf_counter() - started
+        if observer is not None:
+            registry = observer.registry
+            registry.gauge("campaign.workers").set(workers)
+            executed = [records[key] for key, _ in pending if key in records]
+            if executed and wall_time_s > 0:
+                busy = sum(r.duration_s for r in executed)
+                registry.gauge("campaign.worker_utilization").set(
+                    min(1.0, busy / (wall_time_s * max(1, workers)))
+                )
+            observer.tracer.complete(
+                f"campaign {spec.name}",
+                start_us=span_start,
+                dur_us=observer.tracer.now_us() - span_start,
+                cat="campaign",
+                trials=total,
+                cache_hits=stats.hits,
+                executed=len(pending),
+            )
         return CampaignRun(
             spec=spec,
             records=ordered,
             stats=stats,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall_time_s,
         )
 
     def _effective_workers(self, pending: int) -> int:

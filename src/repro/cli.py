@@ -17,7 +17,15 @@ Gives downstream users the paper's experiments without writing code:
 - ``repro disrupt`` — disruption & resilience: run a federation trial
   under a seeded schedule of region outages / curtailments / carbon-signal
   blackouts, compare failover on vs. off vs. undisrupted, or sweep the
-  ``disrupt-sweep`` campaign preset.
+  ``disrupt-sweep`` campaign preset;
+- ``repro obs`` — render a collected metrics snapshot (``report``) or
+  build the static HTML dashboard (``dashboard``).
+
+Cross-cutting: ``--obs`` on ``run`` / ``perf`` / ``campaign`` / ``geo`` /
+``disrupt`` collects metrics + spans during the command and writes
+``metrics.jsonl`` / ``trace.json`` under ``--obs-dir``; the top-level
+``--log-level`` flag configures ``repro``'s stderr logging. Errors go to
+stderr with a non-zero exit code.
 """
 
 from __future__ import annotations
@@ -43,8 +51,20 @@ from repro.experiments.tables import (
     table3_rows,
 )
 from repro.experiments.figures import cap_b_sweep, pcaps_gamma_sweep
+from repro.obs.observer import (
+    DEFAULT_OBS_DIR,
+    LOG_LEVELS,
+    METRICS_FILENAME,
+    collecting,
+    configure_logging,
+)
 from repro.simulator.metrics import compare_to_baseline
 from repro.workloads.batch import WorkloadSpec
+
+
+def _error(message: str) -> None:
+    """CLI error line: stderr, so piped stdout output stays parseable."""
+    print(message, file=sys.stderr)
 
 
 def _add_common_experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -108,7 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = args.schedulers
     unknown = [n for n in names if n not in SCHEDULER_NAMES]
     if unknown:
-        print(f"unknown schedulers: {unknown}; choose from {SCHEDULER_NAMES}")
+        _error(f"unknown schedulers: {unknown}; choose from {SCHEDULER_NAMES}")
         return 2
     baseline = args.baseline or names[0]
     if baseline not in names:
@@ -172,7 +192,7 @@ def _campaign_spec(args: argparse.Namespace):
 
     presets = campaign_presets()
     if args.name not in presets:
-        print(f"unknown campaign {args.name!r}; choose from {sorted(presets)}")
+        _error(f"unknown campaign {args.name!r}; choose from {sorted(presets)}")
         return None
     spec = presets[args.name]
     jobs = getattr(args, "jobs", None)
@@ -215,7 +235,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         return 2
     resume = not getattr(args, "no_resume", False)
     if args.cmd == "resume" and not ResultStore(args.store).path.exists():
-        print(f"nothing to resume: store {args.store!r} does not exist")
+        _error(f"nothing to resume: store {args.store!r} does not exist")
         return 2
     runner = CampaignRunner(ResultStore(args.store), workers=args.workers)
     print(
@@ -248,7 +268,7 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         return 2
     store = ResultStore(args.store)
     if not store.path.exists():
-        print(f"store {args.store!r} does not exist; run the campaign first")
+        _error(f"store {args.store!r} does not exist; run the campaign first")
         return 2
     _print_campaign_report(CampaignRunner(store), spec)
     return 0
@@ -285,7 +305,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     for scenario in scenarios:
         if not args.quiet:
             print(f"running {scenario.name} ...", flush=True)
-        measurements.append(run_scenario(scenario))
+        measurements.append(run_scenario(scenario, collect_cache_stats=True))
     print(format_report(measurements))
     write_report(measurements, args.output)
     print(f"wrote {args.output}")
@@ -298,13 +318,13 @@ def _geo_config(args: argparse.Namespace):
     grids = [g.strip().upper() for g in args.regions.split(",") if g.strip()]
     unknown = [g for g in grids if g not in GRID_CODES]
     if unknown:
-        print(f"unknown grids: {unknown}; choose from {GRID_CODES}")
+        _error(f"unknown grids: {unknown}; choose from {GRID_CODES}")
         return None
     origin = args.origin.strip().lower() if args.origin else None
     member_names = [g.lower() for g in grids]
     if origin is not None and origin not in member_names:
-        print(f"unknown origin region {args.origin!r}; "
-              f"choose from {member_names}")
+        _error(f"unknown origin region {args.origin!r}; "
+               f"choose from {member_names}")
         return None
     try:
         regions = tuple(
@@ -329,7 +349,7 @@ def _geo_config(args: argparse.Namespace):
             origin_region=origin,
         )
     except ValueError as exc:  # e.g. duplicate or empty --regions
-        print(f"invalid federation: {exc}")
+        _error(f"invalid federation: {exc}")
         return None
 
 
@@ -393,7 +413,7 @@ def _cmd_geo_sweep(args: argparse.Namespace) -> int:
 
     presets = geo_presets()
     if args.name not in presets:
-        print(f"unknown geo campaign {args.name!r}; choose from {sorted(presets)}")
+        _error(f"unknown geo campaign {args.name!r}; choose from {sorted(presets)}")
         return 2
     spec = presets[args.name]
     store = ResultStore(args.store)
@@ -453,7 +473,7 @@ def _cmd_disrupt_run(args: argparse.Namespace) -> int:
         return 2
     schedule = _disrupt_schedule(args, config)
     if not schedule:
-        print("generated schedule is empty; raise --outages/--curtailments")
+        _error("generated schedule is empty; raise --outages/--curtailments")
         return 2
     result = run_federation(
         config.with_disruptions(
@@ -498,7 +518,7 @@ def _cmd_disrupt_compare(args: argparse.Namespace) -> int:
         return 2
     schedule = _disrupt_schedule(args, config)
     if not schedule:
-        print("generated schedule is empty; raise --outages/--curtailments")
+        _error("generated schedule is empty; raise --outages/--curtailments")
         return 2
     results = run_disruption_matchup(config, schedule)
     reports = disruption_matchup_reports(results, schedule)
@@ -525,6 +545,41 @@ def _cmd_disrupt(args: argparse.Namespace) -> int:
     return handlers[args.cmd](args)
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    metrics = args.metrics
+    if not os.path.exists(metrics):
+        _error(
+            f"no metrics snapshot at {metrics!r}; run a command with --obs "
+            f"first (writes <obs-dir>/{METRICS_FILENAME})"
+        )
+        return 2
+    print(render_report(metrics))
+    return 0
+
+
+def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import build_dashboard
+
+    path = build_dashboard(
+        output=args.output,
+        bench_paths=args.bench,
+        store_paths=args.store,
+        obs_dirs=args.obs_dir,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "report": _cmd_obs_report,
+        "dashboard": _cmd_obs_dashboard,
+    }
+    return handlers[args.cmd](args)
+
+
 def _cmd_grids(args: argparse.Namespace) -> int:
     print(f"{'grid':<7} {'description':<55} {'mean':>6} {'cov':>6}")
     for code in GRID_CODES:
@@ -536,11 +591,27 @@ def _cmd_grids(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect metrics + spans during this command "
+        "(fingerprint-neutral; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--obs-dir", default=DEFAULT_OBS_DIR,
+        help="directory for metrics.jsonl / trace.json (with --obs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction CLI for 'Carbon- and Precedence-Aware "
         "Scheduling for Data Processing Clusters' (SIGCOMM 2025)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, choices=LOG_LEVELS,
+        help="configure 'repro' stderr logging for this invocation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -570,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--baseline", default=None)
     p.add_argument("--gamma", type=float, default=0.5)
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("sweep", help="sweep PCAPS gamma or CAP B")
@@ -607,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--executors", type=int, default=50)
     p.add_argument("--quiet", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
@@ -640,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
             c.add_argument(
                 "--quiet", action="store_true", help="suppress per-trial lines"
             )
+            _add_obs_args(c)
 
     c = campaign_sub.add_parser(
         "run", help="run a campaign (skips trials already in the store)"
@@ -695,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--origin", default=None,
             help="pin every job's origin region (default: seeded uniform)",
         )
+        _add_obs_args(g)
 
     g = geo_sub.add_parser("run", help="run one federation trial")
     _add_geo_federation_args(g)
@@ -720,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (default: CPU count; 0/1 = inline)",
     )
     g.add_argument("--quiet", action="store_true")
+    _add_obs_args(g)
     g.set_defaults(func=_cmd_geo)
 
     p = sub.add_parser(
@@ -778,15 +854,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (default: CPU count; 0/1 = inline)",
     )
     d.add_argument("--quiet", action="store_true")
+    _add_obs_args(d)
     d.set_defaults(func=_cmd_disrupt)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability: render metrics snapshots, build the dashboard",
+    )
+    obs_sub = p.add_subparsers(dest="cmd", required=True)
+
+    o = obs_sub.add_parser(
+        "report", help="render a collected metrics snapshot as text"
+    )
+    o.add_argument(
+        "--metrics",
+        default=os.path.join(DEFAULT_OBS_DIR, METRICS_FILENAME),
+        help="metrics JSONL snapshot written by a --obs run",
+    )
+    o.set_defaults(func=_cmd_obs)
+
+    o = obs_sub.add_parser(
+        "dashboard",
+        help="build the static HTML dashboard (stdlib only, no server)",
+    )
+    o.add_argument(
+        "--output", default=os.path.join("dashboard", "index.html"),
+        help="where to write the dashboard HTML",
+    )
+    o.add_argument(
+        "--bench", nargs="*", default=None,
+        help="BENCH_*.json files to chart (default: BENCH_*.json in cwd)",
+    )
+    o.add_argument(
+        "--store", nargs="*", default=None,
+        help="campaign result stores to aggregate "
+        f"(default: {DEFAULT_CAMPAIGN_STORE} if present)",
+    )
+    o.add_argument(
+        "--obs-dir", nargs="*", default=None,
+        help="obs artifact directories to include "
+        f"(default: {DEFAULT_OBS_DIR} if present)",
+    )
+    o.set_defaults(func=_cmd_obs)
 
     return parser
 
 
+def _obs_label(args: argparse.Namespace) -> str:
+    sub = getattr(args, "cmd", None)
+    return f"{args.command} {sub}" if sub else str(args.command)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected handler, under an observer when ``--obs`` is set."""
+    if not getattr(args, "obs", False):
+        return args.func(args)
+    label = _obs_label(args)
+    with collecting(label) as observer:
+        with observer.tracer.span(f"repro {label}", cat="cli"):
+            code = args.func(args)
+    metrics_path, trace_path = observer.write_artifacts(args.obs_dir)
+    print(f"obs: wrote {metrics_path} and {trace_path}", file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
     try:
-        return args.func(args)
+        return _dispatch(args)
     except BrokenPipeError:
         # e.g. `repro campaign run ... | head`: the reader closed the pipe
         # mid-report. Swallow the noise and let the interpreter exit cleanly.

@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     carbon_trace_for,
     workload_for,
 )
+from repro.obs.observer import current as _current_observer
 from repro.simulator.engine import ClusterConfig, Simulation, SimulationStepper
 from repro.simulator.metrics import ExperimentResult
 
@@ -43,6 +44,7 @@ def install_disruptions(
     """
     num_executors = stepper.sim.config.num_executors
     events = schedule.events_for(region)
+    observer = _current_observer()
     for event in events:
         if event.affects_capacity:
             stepper.schedule_capacity(
@@ -51,6 +53,16 @@ def install_disruptions(
             stepper.schedule_capacity(event.end, num_executors)
         else:
             stepper.schedule_signal_blackout(event.start, event.end)
+        if observer is not None:
+            observer.registry.counter(f"disrupt.events.{event.kind}").inc()
+            observer.tracer.sim_span(
+                event.kind,
+                event.start,
+                event.end,
+                cat="disrupt",
+                track=region or "cluster",
+                capacity_fraction=event.capacity_fraction,
+            )
     return len(events)
 
 

@@ -102,6 +102,12 @@ class PerfMeasurement:
     ect: float
     carbon: float
     speedup_vs_pre_refactor: float | None = field(default=None)
+    #: Frontier-cache effectiveness (``None`` unless the scenario was run
+    #: with ``collect_cache_stats=True``; collected on a second, untimed
+    #: pass so the timed wall stays observation-free).
+    frontier_matrix_hit_rate: float | None = field(default=None)
+    frontier_column_hit_rate: float | None = field(default=None)
+    ready_cache_hit_rate: float | None = field(default=None)
 
 
 DEFAULT_SCHEDULERS: tuple[str, ...] = ("fifo", "decima", "pcaps")
@@ -145,8 +151,38 @@ def smoke_scenarios() -> list[PerfScenario]:
     ]
 
 
-def run_scenario(scenario: PerfScenario) -> PerfMeasurement:
-    """Run one trial end-to-end and measure it."""
+def _cache_hit_rates(
+    config: ExperimentConfig,
+) -> tuple[float | None, float | None, float | None]:
+    """(matrix, column, ready) hit rates from one untimed observed run."""
+    from repro.obs.observer import collecting, hit_rate
+
+    with collecting("perf-cache-stats") as observer:
+        run_experiment(config)
+    registry = observer.registry
+
+    def rate(base: str) -> float | None:
+        return hit_rate(
+            registry.value(f"{base}.hits"), registry.value(f"{base}.misses")
+        )
+
+    return (
+        rate("engine.cache.matrix"),
+        rate("engine.cache.column"),
+        rate("engine.cache.ready"),
+    )
+
+
+def run_scenario(
+    scenario: PerfScenario, collect_cache_stats: bool = False
+) -> PerfMeasurement:
+    """Run one trial end-to-end and measure it.
+
+    With ``collect_cache_stats`` the scenario runs a *second* time under an
+    observer to read the engine's frontier-cache hit rates; the timed run
+    stays obs-off, so wall times (and the perf gate built on them) are
+    never contaminated by instrumentation.
+    """
     config = scenario.config()
     t0 = time.perf_counter()
     result = run_experiment(config)
@@ -154,6 +190,9 @@ def run_scenario(scenario: PerfScenario) -> PerfMeasurement:
     t0 = time.perf_counter()
     carbon = result.carbon_footprint
     carbon_tally_s = time.perf_counter() - t0
+    matrix_rate = column_rate = ready_rate = None
+    if collect_cache_stats:
+        matrix_rate, column_rate, ready_rate = _cache_hit_rates(config)
     return PerfMeasurement(
         name=scenario.name,
         scheduler=scenario.scheduler,
@@ -174,11 +213,19 @@ def run_scenario(scenario: PerfScenario) -> PerfMeasurement:
             if scenario.name in PRE_REFACTOR_BASELINE_S and wall > 0
             else None
         ),
+        frontier_matrix_hit_rate=matrix_rate,
+        frontier_column_hit_rate=column_rate,
+        ready_cache_hit_rate=ready_rate,
     )
 
 
-def run_suite(scenarios: Iterable[PerfScenario]) -> list[PerfMeasurement]:
-    return [run_scenario(scenario) for scenario in scenarios]
+def run_suite(
+    scenarios: Iterable[PerfScenario], collect_cache_stats: bool = True
+) -> list[PerfMeasurement]:
+    return [
+        run_scenario(scenario, collect_cache_stats=collect_cache_stats)
+        for scenario in scenarios
+    ]
 
 
 def write_report(
@@ -202,7 +249,7 @@ def format_report(measurements: Sequence[PerfMeasurement]) -> str:
     """Human-readable table of a measurement run."""
     lines = [
         f"{'scenario':<18} {'wall_s':>8} {'events/s':>10} {'tasks/s':>9} "
-        f"{'select_ms':>10} {'speedup':>8}"
+        f"{'select_ms':>10} {'speedup':>8} {'matrix%':>8}"
     ]
     for m in measurements:
         speedup = (
@@ -210,9 +257,14 @@ def format_report(measurements: Sequence[PerfMeasurement]) -> str:
             if m.speedup_vs_pre_refactor is not None
             else "-"
         )
+        matrix = (
+            f"{m.frontier_matrix_hit_rate:.0%}"
+            if m.frontier_matrix_hit_rate is not None
+            else "-"
+        )
         lines.append(
             f"{m.name:<18} {m.wall_s:>8.3f} {m.events_per_s:>10.0f} "
             f"{m.tasks_per_s:>9.0f} {m.avg_select_latency_ms:>10.3f} "
-            f"{speedup:>8}"
+            f"{speedup:>8} {matrix:>8}"
         )
     return "\n".join(lines)

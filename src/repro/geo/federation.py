@@ -41,6 +41,7 @@ from repro.geo.routing import (
     RegionSnapshot,
     build_routing_policy,
 )
+from repro.obs.observer import current as _current_observer
 from repro.simulator.engine import ClusterConfig, Simulation, SimulationStepper
 from repro.workloads.arrivals import JobSubmission
 
@@ -255,6 +256,18 @@ class Federation:
         if schedule is not None and config.failover:
             policy = FailoverRouting(policy)
         policy.reset()
+        observer = _current_observer()
+        if observer is not None:
+            registry = observer.registry
+            obs_decisions = registry.counter(
+                f"geo.route.decisions.{policy.name}"
+            )
+            obs_cross = registry.counter("geo.route.cross_region")
+            obs_migrations = registry.counter("geo.migrations")
+            span_start = observer.tracer.now_us()
+        else:
+            obs_decisions = obs_cross = obs_migrations = None
+            span_start = 0.0
         for region in self.regions:
             region.start()
             if schedule is not None:
@@ -293,6 +306,10 @@ class Federation:
                     policy, sub, origin, snapshots, names
                 )
                 decisions.append(decision)
+                if obs_decisions is not None:
+                    obs_decisions.inc()
+                    if decision.origin != decision.region:
+                        obs_cross.inc()
                 placements[sub.job_id] = names.index(decision.region)
                 arrival_of[sub.job_id] = sub.arrival_time
             else:
@@ -301,12 +318,13 @@ class Federation:
                 # visible, then relocate its queued jobs.
                 for region in self.regions:
                     region.stepper.advance_through(t)
-                migrations.extend(
-                    self._migrate_from(
-                        self.regions[payload], t, policy, placements,
-                        arrival_of,
-                    )
+                moves = self._migrate_from(
+                    self.regions[payload], t, policy, placements,
+                    arrival_of,
                 )
+                migrations.extend(moves)
+                if obs_migrations is not None and moves:
+                    obs_migrations.inc(len(moves))
 
         # No more cross-region interactions: drain each region to the end.
         region_results = []
@@ -320,13 +338,28 @@ class Federation:
                     result=region.stepper.result(),
                 )
             )
+        reroutes = list(getattr(policy, "reroutes", ()))
+        if observer is not None:
+            if reroutes:
+                observer.registry.counter("geo.failover.reroutes").inc(
+                    len(reroutes)
+                )
+            observer.tracer.complete(
+                f"federation {config.routing}",
+                start_us=span_start,
+                dur_us=observer.tracer.now_us() - span_start,
+                cat="geo",
+                regions=len(self.regions),
+                jobs=len(decisions),
+                migrations=len(migrations),
+            )
         return FederationResult(
             routing=config.routing,
             regions=region_results,
             decisions=decisions,
             executor_power_kw=config.executor_power_kw,
             migrations=migrations,
-            reroutes=list(getattr(policy, "reroutes", ())),
+            reroutes=reroutes,
             disruptions=schedule,
         )
 

@@ -1,0 +1,87 @@
+"""``repro.obs`` — zero-overhead instrumentation for the reproduction.
+
+A lightweight metrics registry (counters, gauges, histograms, timers) plus
+span tracing, wired through the engine, the campaign runner, and the
+geo/disrupt layers. Collection is **off by default** and costs near-zero
+when off: instrumented components cache :func:`current` (then ``None``)
+once at construction, so every probe site is one attribute load and an
+``is None`` test. With collection on, instrumentation is
+**fingerprint-neutral** — it never touches RNG state or event ordering,
+a contract enforced by ``tests/test_obs_fingerprints.py`` against the
+seven pinned SHA-256 scenarios.
+
+Artifacts:
+
+- **metrics snapshots** serialize to JSONL (``obs/metrics.jsonl``),
+  rendered by ``repro obs report``;
+- **spans** export to Chrome-trace-format JSON (``obs/trace.json``),
+  loadable in Perfetto;
+- the **dashboard** generator (:mod:`repro.obs.dashboard`) renders
+  ``BENCH_*.json`` history, campaign-store aggregates, and obs snapshots
+  into a static ``dashboard/index.html`` (stdlib only, no server).
+
+Enable collection from the CLI with ``--obs`` on ``run`` / ``campaign`` /
+``geo`` / ``disrupt`` / ``perf``, or programmatically::
+
+    from repro import obs
+
+    with obs.collecting("my-trial") as observer:
+        run_experiment(config)
+    observer.write_artifacts("obs")
+"""
+
+from repro.obs.dashboard import build_dashboard, render_dashboard
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    read_jsonl,
+)
+from repro.obs.observer import (
+    DEFAULT_OBS_DIR,
+    LOG_LEVELS,
+    METRICS_FILENAME,
+    TRACE_FILENAME,
+    FrontierCacheStats,
+    Observer,
+    collecting,
+    configure_logging,
+    current,
+    disable,
+    enable,
+    hit_rate,
+    is_enabled,
+    snapshot_meta,
+)
+from repro.obs.report import format_snapshot, render_report
+from repro.obs.tracing import SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_OBS_DIR",
+    "FrontierCacheStats",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "METRICS_FILENAME",
+    "MetricsRegistry",
+    "Observer",
+    "SpanTracer",
+    "TRACE_FILENAME",
+    "Timer",
+    "build_dashboard",
+    "collecting",
+    "configure_logging",
+    "current",
+    "disable",
+    "enable",
+    "format_snapshot",
+    "hit_rate",
+    "is_enabled",
+    "read_jsonl",
+    "render_dashboard",
+    "render_report",
+    "snapshot_meta",
+]

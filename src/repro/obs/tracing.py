@@ -1,0 +1,166 @@
+"""Span tracing with Chrome-trace-format export.
+
+Spans are recorded as Chrome trace "complete" events (``"ph": "X"``) so a
+trace file loads directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``. Two clocks coexist in one file, on separate process
+tracks:
+
+- **wall-clock spans** (:meth:`SpanTracer.span`) — microseconds of real
+  time since the tracer was created; campaign trials, scheduler phases,
+  and anything else that costs wall time live here (``pid`` 1);
+- **sim-time spans** (:meth:`SpanTracer.sim_span`) — simulated seconds
+  mapped to microseconds; disruption windows and recovery intervals live
+  here (``pid`` 2), so the timeline of *the experiment itself* can be
+  inspected next to the timeline of the run that produced it.
+
+Recording appends one dict per span — no I/O, no locks, no randomness —
+and export is a single :func:`json.dump`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Chrome-trace process ids for the two clock domains.
+WALL_PID = 1
+SIM_PID = 2
+
+_PROCESS_NAMES = {WALL_PID: "wall-clock", SIM_PID: "sim-time"}
+
+
+class SpanTracer:
+    """Append-only span recorder, exportable as Chrome trace JSON."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self._epoch = time.perf_counter()
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def now_us(self) -> float:
+        """Current wall-clock offset (µs) on this tracer's timeline."""
+        return self._now_us()
+
+    # -- wall-clock spans ------------------------------------------------
+    @contextmanager
+    def span(
+        self, name: str, cat: str = "obs", **args: Any
+    ) -> Iterator[None]:
+        """Record a wall-clock span around the enclosed block."""
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            self.complete(
+                name, start_us=start, dur_us=self._now_us() - start,
+                cat=cat, **args,
+            )
+
+    def complete(
+        self,
+        name: str,
+        start_us: float,
+        dur_us: float,
+        cat: str = "obs",
+        pid: int = WALL_PID,
+        tid: int = 0,
+        **args: Any,
+    ) -> None:
+        """Record one already-measured span (e.g. a pool worker's trial)."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": start_us,
+            "dur": dur_us,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "obs", **args: Any) -> None:
+        """Record a zero-duration marker at the current wall-clock time."""
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "g",
+            "ts": self._now_us(),
+            "pid": WALL_PID,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- sim-time spans --------------------------------------------------
+    def sim_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        cat: str = "sim",
+        track: str = "events",
+        **args: Any,
+    ) -> None:
+        """Record a span in *simulated* time (seconds -> microseconds).
+
+        ``track`` names the row (Chrome-trace thread) within the sim-time
+        process, e.g. one row per federation region.
+        """
+        self.complete(
+            name,
+            start_us=start_s * 1e6,
+            dur_us=max(0.0, end_s - start_s) * 1e6,
+            cat=cat,
+            pid=SIM_PID,
+            tid=_stable_tid(track),
+            track=track,
+            **args,
+        )
+
+    # -- export ----------------------------------------------------------
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The Chrome trace document (JSON object format)."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+            for pid, label in _PROCESS_NAMES.items()
+        ]
+        return {
+            "traceEvents": metadata + self.events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+            handle.write("\n")
+        return path
+
+
+def _stable_tid(track: str) -> int:
+    """A deterministic small thread id for a named sim-time track.
+
+    Chrome trace tids are integers; hashing the name with a stable
+    polynomial (not Python's randomized ``hash``) keeps traces
+    byte-comparable across processes.
+    """
+    h = 0
+    for ch in track:
+        h = (h * 31 + ord(ch)) % 1_000_003
+    return h

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.carbon.api import CarbonIntensityAPI, CarbonReading
+from repro.obs.observer import FrontierCacheStats
+from repro.obs.observer import current as _current_observer
 from repro.simulator.interfaces import Provisioner, StageScheduler
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.state import ClusterView, JobRuntime
@@ -398,6 +400,38 @@ class SimulationStepper:
         self._withdrawn_pending: set[int] = set()
         #: Last fresh carbon reading while the signal is blacked out.
         self._frozen_reading: CarbonReading | None = None
+        # -- observability (repro.obs) ----------------------------------
+        # The observer is captured once here; with collection off every
+        # probe site below costs one attribute load + an `is None` test.
+        # Probes only count and time — they never touch RNG state or
+        # event ordering, so enabled runs stay fingerprint-identical
+        # (pinned by tests/test_obs_fingerprints.py).
+        observer = _current_observer()
+        self._obs = observer
+        if observer is not None:
+            registry = observer.registry
+            #: Per-kind event counters, indexed by the event-kind constants.
+            self._obs_events = (
+                registry.counter("engine.events.arrival"),
+                registry.counter("engine.events.task_done"),
+                registry.counter("engine.events.carbon_step"),
+                registry.counter("engine.events.capacity"),
+                registry.counter("engine.events.signal"),
+            )
+            self._obs_heap_hw = registry.gauge("engine.heap.high_water")
+            self._obs_blocked = registry.counter("engine.blocked_retries")
+            self._obs_preempted = registry.counter("engine.preemptions")
+            self._obs_deferrals = registry.counter("engine.deferrals")
+            self._obs_select = registry.histogram("engine.select_latency_s")
+            self._cache_stats = FrontierCacheStats(registry)
+        else:
+            self._obs_events = None
+            self._obs_heap_hw = None
+            self._obs_blocked = None
+            self._obs_preempted = None
+            self._obs_deferrals = None
+            self._obs_select = None
+            self._cache_stats = None
 
     # -- job intake -----------------------------------------------------
     def submit(self, sub: JobSubmission) -> None:
@@ -513,6 +547,8 @@ class SimulationStepper:
         self._offline.append(executor_id)
         self._close_hold(job_id, executor_id, t)
         self.preempted_tasks += 1
+        if self._obs_preempted is not None:
+            self._obs_preempted.inc()
 
     def schedule_capacity(self, t: float, n: int) -> None:
         """Enqueue a capacity change as an engine event at time ``t``."""
@@ -599,10 +635,15 @@ class SimulationStepper:
                 f"simulation exceeded max_time={sim.max_time}; "
                 f"scheduler {sim.scheduler.name!r} may not be making progress"
             )
+        obs_events = self._obs_events
+        if obs_events is not None:
+            self._obs_heap_hw.high_water(len(events))
         # Drain every event at this timestamp before scheduling.
         while events and events[0][0] == now:
             _, _, kind, payload = heapq.heappop(events)
             self.events_processed += 1
+            if obs_events is not None:
+                obs_events[kind].inc()
             if kind == _ARRIVAL:
                 sub = payload[0]
                 if sub.job_id in self._withdrawn_pending:
@@ -688,6 +729,7 @@ class SimulationStepper:
                 ready_cache=self._ready_cache,
                 column_cache=self._column_cache,
                 frontier_epoch=self._frontier_epoch,
+                cache_stats=self._cache_stats,
             )
             quota = max(1, min(sim.provisioner.quota(pre_view), quota))
         if capacity < quota:
@@ -717,18 +759,26 @@ class SimulationStepper:
                     ready_cache=self._ready_cache,
                     column_cache=self._column_cache,
                     frontier_epoch=self._frontier_epoch,
+                    cache_stats=self._cache_stats,
                 )
             if not view.has_assignable():
                 break
-            if sim.measure_latency:
+            obs_select = self._obs_select
+            if sim.measure_latency or obs_select is not None:
                 t0 = _wallclock.perf_counter()
                 choice = sim.scheduler.select(view)
-                self.sched_time += _wallclock.perf_counter() - t0
-                self.sched_calls += 1
+                elapsed = _wallclock.perf_counter() - t0
+                if sim.measure_latency:
+                    self.sched_time += elapsed
+                    self.sched_calls += 1
+                if obs_select is not None:
+                    obs_select.record(elapsed)
             else:
                 choice = sim.scheduler.select(view)
             if choice is None:
                 trace.deferrals += 1
+                if obs_events is not None:
+                    self._obs_deferrals.inc()
                 break
             job = jobs[choice.job_id]
             runtime = job.stages[choice.stage_id]
@@ -754,6 +804,8 @@ class SimulationStepper:
             if assignable <= 0:
                 blocked.add((choice.job_id, choice.stage_id))
                 view.block(choice.job_id, choice.stage_id)
+                if obs_events is not None:
+                    self._obs_blocked.inc()
                 continue
             for _ in range(assignable):
                 executor_id, needs_move = pool.take(choice.job_id)

@@ -459,6 +459,7 @@ class ClusterView:
         ready_cache: dict[tuple[int, bool], tuple] | None = None,
         column_cache: dict[tuple[int, bool], tuple] | None = None,
         frontier_epoch: int | None = None,
+        cache_stats=None,
     ) -> None:
         self.time = time
         self.total_executors = total_executors
@@ -494,6 +495,11 @@ class ClusterView:
         #: mask with one pair instead of re-deriving the conjunction.
         self._blocked_seq: list[tuple[int, int]] = list(blocked)
         self._mask_state: dict[bool, tuple] = {}
+        #: Optional :class:`repro.obs.observer.FrontierCacheStats` from the
+        #: owning stepper: hit/miss counters for the shared ready/column/
+        #: whole-matrix caches, incremented where each consult resolves.
+        #: ``None`` (collection off, or hand-built views) counts nothing.
+        self._cache_stats = cache_stats
         #: Engine frontier epoch: bumped by the stepper on every event that
         #: can change any job's frontier (arrival, launch, finish,
         #: preemption, withdrawal). Equal epochs across two views guarantee
@@ -561,6 +567,7 @@ class ClusterView:
         # the per-pass blocked set (a rare state: the engine could not grow
         # a chosen stage); fall back to a plain walk then.
         shared = self._shared_ready if not blocked else None
+        stats = self._cache_stats if shared is not None else None
         for job in self.active_jobs():
             job_id = job.job_id
             job_pool = general_free + (
@@ -593,8 +600,12 @@ class ClusterView:
                         or (hit[1] >= hit[2] and effective_cap >= hit[2])
                     )
                 ):
+                    if stats is not None:
+                        stats.ready_hits.inc()
                     out.extend(hit[3])
                     continue
+                if stats is not None:
+                    stats.ready_misses.inc()
             entries: list[ReadyStage] = []
             append = entries.append
             stages = job.stages
@@ -663,6 +674,7 @@ class ClusterView:
         # the dominant case for the vectorized schedulers (they don't
         # hold executors), and it turns the per-view cost of a deferred or
         # blocked scheduling pass into two integer compares.
+        stats = self._cache_stats if shared is not None else None
         view_key = None
         epoch = self._frontier_epoch
         if (
@@ -682,7 +694,11 @@ class ClusterView:
                     or (hit[1] >= hit[2] and scalar_budget >= hit[2])
                 )
             ):
+                if stats is not None:
+                    stats.matrix_hits.inc()
                 return self._finish_frontier(hit[3], include_saturated)
+            if stats is not None:
+                stats.matrix_misses.inc()
         blocks: list[np.ndarray] = []
         global_saturation = 0
         for job in self.active_jobs():
@@ -709,10 +725,14 @@ class ClusterView:
                         or (hit[1] >= hit[2] and effective_cap >= hit[2])
                     )
                 ):
+                    if stats is not None:
+                        stats.column_hits.inc()
                     if hit[2] > global_saturation:
                         global_saturation = hit[2]
                     blocks.append(hit[3])
                     continue
+                if stats is not None:
+                    stats.column_misses.inc()
             rows: list[tuple] = []
             stages = job.stages
             remaining = None

@@ -59,6 +59,9 @@ class TestCommands:
 
     def test_run_unknown_scheduler(self, capsys):
         assert main(["run", "not-a-scheduler", "--jobs", "2"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown schedulers" in captured.err
+        assert captured.out == ""
 
     def test_run_adds_baseline_if_missing(self, capsys):
         code = main(
@@ -106,17 +109,17 @@ class TestCampaignCommands:
 
     def test_campaign_unknown_name(self, capsys):
         assert main(["campaign", "run", "not-a-campaign"]) == 2
-        assert "unknown campaign" in capsys.readouterr().out
+        assert "unknown campaign" in capsys.readouterr().err
 
     def test_campaign_report_without_store(self, tmp_path, capsys):
         store = str(tmp_path / "never-written.jsonl")
         assert main(["campaign", "report", "smoke", "--store", store]) == 2
-        assert "does not exist" in capsys.readouterr().out
+        assert "does not exist" in capsys.readouterr().err
 
     def test_campaign_resume_without_store(self, tmp_path, capsys):
         store = str(tmp_path / "never-written.jsonl")
         assert main(["campaign", "resume", "smoke", "--store", store]) == 2
-        assert "nothing to resume" in capsys.readouterr().out
+        assert "nothing to resume" in capsys.readouterr().err
 
     def test_campaign_run_rerun_and_report(self, tmp_path, capsys):
         store = str(tmp_path / "smoke.jsonl")
@@ -137,3 +140,68 @@ class TestCampaignCommands:
         assert "4/4 trials in store" in report
         # The report from the store alone matches the table the run printed.
         assert report.strip().splitlines()[-1] in rerun
+
+
+class TestObsCommands:
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_log_level_flag_parses(self):
+        args = build_parser().parse_args(["--log-level", "debug", "grids"])
+        assert args.log_level == "debug"
+
+    def test_obs_flag_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        obs_dir = tmp_path / "obs"
+        code = main(
+            [
+                "run", "fifo", "--jobs", "3", "--executors", "4",
+                "--obs", "--obs-dir", str(obs_dir),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "obs: wrote" in captured.err
+        metrics = obs_dir / "metrics.jsonl"
+        trace = obs_dir / "trace.json"
+        assert metrics.exists() and trace.exists()
+        doc = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_obs_report_renders_snapshot(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        main(
+            [
+                "run", "fifo", "--jobs", "3", "--executors", "4",
+                "--obs", "--obs-dir", str(obs_dir),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["obs", "report", "--metrics", str(obs_dir / "metrics.jsonl")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.events.task_done" in out
+        assert "obs snapshot" in out
+
+    def test_obs_report_missing_snapshot(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope" / "metrics.jsonl")
+        assert main(["obs", "report", "--metrics", missing]) == 2
+        assert "no metrics snapshot" in capsys.readouterr().err
+
+    def test_obs_dashboard_builds_html(self, tmp_path, capsys):
+        output = tmp_path / "dash" / "index.html"
+        code = main(
+            [
+                "obs", "dashboard", "--output", str(output),
+                "--bench", "--store", "--obs-dir",
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        text = output.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "repro dashboard" in text

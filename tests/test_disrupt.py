@@ -728,7 +728,7 @@ class TestDisruptCLI:
             "--curtailments", "0", "--blackouts", "0",
         ])
         assert code == 2
-        assert "empty" in capsys.readouterr().out
+        assert "empty" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

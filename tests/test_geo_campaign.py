@@ -182,7 +182,7 @@ class TestCLI:
         assert main(["geo", "run", *self.GEO_ARGS, "--origin", "DE"]) == 0
         capsys.readouterr()
         assert main(["geo", "run", *self.GEO_ARGS, "--origin", "caiso"]) == 2
-        assert "unknown origin region" in capsys.readouterr().out
+        assert "unknown origin region" in capsys.readouterr().err
 
     def test_geo_run(self, capsys):
         assert main(["geo", "run", *self.GEO_ARGS]) == 0
@@ -191,13 +191,13 @@ class TestCLI:
 
     def test_geo_run_rejects_unknown_grid(self, capsys):
         assert main(["geo", "run", "--regions", "DE,MOON"]) == 2
-        assert "unknown grids" in capsys.readouterr().out
+        assert "unknown grids" in capsys.readouterr().err
 
     def test_geo_run_rejects_invalid_region_lists(self, capsys):
         assert main(["geo", "run", "--regions", "DE,DE"]) == 2
-        assert "invalid federation" in capsys.readouterr().out
+        assert "invalid federation" in capsys.readouterr().err
         assert main(["geo", "run", "--regions", ""]) == 2
-        assert "invalid federation" in capsys.readouterr().out
+        assert "invalid federation" in capsys.readouterr().err
 
     def test_geo_compare(self, capsys):
         assert main(["geo", "compare", *self.GEO_ARGS]) == 0
@@ -216,4 +216,4 @@ class TestCLI:
 
     def test_geo_sweep_unknown_preset(self, capsys):
         assert main(["geo", "sweep", "nope"]) == 2
-        assert "unknown geo campaign" in capsys.readouterr().out
+        assert "unknown geo campaign" in capsys.readouterr().err
