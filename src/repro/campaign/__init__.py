@@ -12,8 +12,11 @@ into declarative, resumable, cached campaigns:
   code version) so re-runs and overlapping sweeps skip completed trials;
 - :mod:`repro.campaign.store` — an append-only JSONL result store holding
   per-trial metric summaries;
-- :mod:`repro.campaign.executor` — a process-pool runner with failure
-  isolation, progress callbacks, and resume-from-store;
+- :mod:`repro.campaign.executor` — a supervised process-pool runner with
+  failure isolation, progress callbacks, and resume-from-store;
+- :mod:`repro.campaign.supervise` — the resilience policy (per-trial
+  timeouts, seeded-backoff retries, quarantine, mid-flight checkpoints)
+  the executor enforces;
 - :mod:`repro.campaign.reports` — replicate aggregation (mean/p50/p95) and
   baseline-normalized tables from stored records alone.
 
@@ -41,16 +44,25 @@ from repro.campaign.geo import (
 )
 from repro.campaign.reports import campaign_report, format_campaign_report
 from repro.campaign.spec import CampaignSpec, campaign_presets, matchup_spec
-from repro.campaign.store import ResultStore, TrialRecord
+from repro.campaign.store import ResultStore, StoreCheck, TrialRecord
+from repro.campaign.supervise import (
+    CampaignInterrupted,
+    CheckpointPolicy,
+    SupervisorConfig,
+)
 
 __all__ = [
     "CacheStats",
+    "CampaignInterrupted",
     "CampaignRun",
     "CampaignRunner",
     "CampaignSpec",
+    "CheckpointPolicy",
     "GeoCampaignRun",
     "GeoCampaignSpec",
     "ResultStore",
+    "StoreCheck",
+    "SupervisorConfig",
     "TrialRecord",
     "campaign_presets",
     "campaign_report",

@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro import faults
 from repro.campaign.cache import KEY_LENGTH, canonical_json, code_fingerprint
 from repro.campaign.executor import (
     CampaignRun,
@@ -310,23 +311,38 @@ def geo_trial_label(config: FederationConfig) -> str:
 
 
 def run_geo_trial_to_record(
-    key: str, campaign: str, config: FederationConfig
+    key: str, campaign: str, config: FederationConfig, attempt: int = 1
 ) -> TrialRecord:
     """Execute one federation trial, capturing failure as an error record."""
+
+    def execute():
+        # No-op unless a fault plan is active — geo trials share the
+        # scheduler trials' chaos-testing surface.
+        faults.maybe_inject_worker(key, attempt)
+        return run_federation(config)
+
     return capture_trial_record(
         key,
         campaign,
         federation_to_dict(config),
-        lambda: run_federation(config),
+        execute,
         federation_metrics,
     )
 
 
-def _geo_pool_worker(payload: tuple[str, str, dict]) -> TrialRecord:
-    """Top-level (picklable) worker: rebuild the config, run, summarize."""
+def _geo_pool_worker(
+    payload: tuple[str, str, dict], attempt: int = 1, checkpoint=None
+) -> TrialRecord:
+    """Top-level (picklable) worker: rebuild the config, run, summarize.
+
+    ``checkpoint`` is accepted for supervisor-loop signature compatibility
+    and ignored: federation trials compose many steppers and do not
+    checkpoint mid-flight (their inner engines could, but the composition
+    state lives here, not in any single stepper).
+    """
     key, campaign, config_dict = payload
     return run_geo_trial_to_record(
-        key, campaign, federation_from_dict(config_dict)
+        key, campaign, federation_from_dict(config_dict), attempt=attempt
     )
 
 
@@ -344,9 +360,9 @@ class GeoCampaignRunner(CampaignRunner):
         return geo_trial_key(config, self.code_version)
 
     def run_record(
-        self, key: str, campaign: str, config: FederationConfig
+        self, key: str, campaign: str, config: FederationConfig, attempt: int = 1
     ) -> TrialRecord:
-        return run_geo_trial_to_record(key, campaign, config)
+        return run_geo_trial_to_record(key, campaign, config, attempt=attempt)
 
     def payload_for(
         self, key: str, campaign: str, config: FederationConfig

@@ -213,6 +213,26 @@ def _print_campaign_report(runner, spec) -> None:
         f"baseline {spec.baseline or '(absolute metrics)'}"
     )
     print(format_campaign_report(rows, title=title))
+    _print_trial_health(records)
+
+
+def _print_trial_health(records) -> None:
+    """Surface failed and flaky trials under a report (attempt counts and
+    last-failure summaries), so retries are visible rather than averaged
+    over."""
+    failed = [r for r in records if not r.ok]
+    flaky = [r for r in records if r.ok and r.attempts > 1]
+    for record in failed:
+        print(
+            f"  FAILED {record.key[:12]} after {record.attempts} attempt(s): "
+            f"{record.error}"
+        )
+    for record in flaky:
+        last = (record.attempt_errors or ["?"])[-1]
+        print(
+            f"  flaky  {record.key[:12]}: ok on attempt {record.attempts} "
+            f"(last failure: {last})"
+        )
 
 
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
@@ -227,8 +247,19 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervisor_from_args(args: argparse.Namespace):
+    from repro.campaign import SupervisorConfig
+
+    return SupervisorConfig(
+        trial_timeout_s=getattr(args, "trial_timeout", None),
+        max_attempts=getattr(args, "max_attempts", 2),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every_events=getattr(args, "checkpoint_every", 200),
+    )
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner, ResultStore
+    from repro.campaign import CampaignInterrupted, CampaignRunner, ResultStore
 
     spec = _campaign_spec(args)
     if spec is None:
@@ -237,7 +268,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.cmd == "resume" and not ResultStore(args.store).path.exists():
         _error(f"nothing to resume: store {args.store!r} does not exist")
         return 2
-    runner = CampaignRunner(ResultStore(args.store), workers=args.workers)
+    runner = CampaignRunner(
+        ResultStore(args.store),
+        workers=args.workers,
+        supervisor=_supervisor_from_args(args),
+    )
     print(
         f"campaign {spec.name!r}: {len(runner.keyed_trials(spec))} trials "
         f"({spec.axis_summary()}), store {args.store}"
@@ -247,7 +282,13 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(f"[{done:>3}/{total}] {line}")
 
-    run = runner.run(spec, resume=resume, on_progress=progress)
+    try:
+        run = runner.run(spec, resume=resume, on_progress=progress)
+    except CampaignInterrupted as interrupted:
+        # Completed futures were drained into the store before this
+        # propagated, so `repro campaign resume` continues from here.
+        print(f"interrupted: {interrupted}")
+        return 130
     stats = run.stats
     print(
         f"done in {run.wall_time_s:.1f}s: {stats.misses} simulated, "
@@ -255,7 +296,10 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         f"{len(run.failures)} failed"
     )
     for record in run.failures:
-        print(f"  FAILED {record.key}: {record.error}")
+        print(
+            f"  FAILED {record.key} after {record.attempts} attempt(s): "
+            f"{record.error}"
+        )
     _print_campaign_report(runner, spec)
     return 1 if run.failures else 0
 
@@ -274,14 +318,139 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_verify(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+
+    store = ResultStore(args.store)
+    if not store.path.exists():
+        _error(f"store {args.store!r} does not exist")
+        return 2
+    if args.repair:
+        check = store.repair()
+        print(check.summary())
+        if not check.clean:
+            print(
+                f"repaired: kept {check.valid_records} valid line(s), "
+                f"dropped {len(check.corrupt_lines)} corrupt "
+                f"(original saved as {store.path.name}.bak)"
+            )
+        return 0
+    check = store.verify()
+    print(check.summary())
+    if not check.clean:
+        print(
+            f"corrupt line number(s): "
+            f"{', '.join(str(n) for n in check.corrupt_lines)} "
+            f"— run with --repair to rewrite a clean store"
+        )
+    return 0 if check.clean else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     handlers = {
         "list": _cmd_campaign_list,
         "run": _cmd_campaign_run,
         "resume": _cmd_campaign_run,
         "report": _cmd_campaign_report,
+        "verify": _cmd_campaign_verify,
     }
     return handlers[args.cmd](args)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """``repro faults demo``: run a tiny campaign while seeded crashes,
+    hangs, and torn store writes fire, then verify/repair/resume."""
+    import tempfile
+    from pathlib import Path
+
+    from repro import faults
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        ResultStore,
+        SupervisorConfig,
+    )
+    from repro.experiments.runner import ExperimentConfig
+    from repro.obs.observer import collecting
+    from repro.workloads.batch import WorkloadSpec
+
+    base = ExperimentConfig(
+        scheduler="fifo",
+        num_executors=4,
+        workload=WorkloadSpec(num_jobs=4),
+        trace_hours=24,
+    )
+    spec = CampaignSpec(
+        "faults-demo",
+        base,
+        axes={"scheduler": ("fifo", "pcaps")},
+        description="fault-injection demo",
+    )
+    supervisor = SupervisorConfig(
+        trial_timeout_s=2.0, max_attempts=4, backoff_base_s=0.05
+    )
+    workdir = Path(args.store).parent if args.store else Path(tempfile.mkdtemp())
+    store_path = Path(args.store) if args.store else workdir / "faults-demo.jsonl"
+
+    counters = (
+        "campaign.retries",
+        "campaign.timeouts",
+        "campaign.quarantines",
+        "campaign.pool_rebuilds",
+        "store.corrupt_lines_skipped",
+    )
+    plan = faults.FaultPlan(
+        seed=args.seed,
+        rules=(
+            # Every trial's first attempt crashes its worker; second
+            # attempts hang past the 2s timeout; third attempts run clean.
+            faults.FaultRule(kind="crash", occasions=(1,)),
+            faults.FaultRule(kind="hang", occasions=(2,), hang_s=30.0),
+            # The first append of every key tears mid-line.
+            faults.FaultRule(kind="torn-write", occasions=(1,)),
+        ),
+    )
+    print(f"fault plan (seed {args.seed}): crash@1, hang@2, torn-write@1")
+    print(f"store: {store_path}")
+
+    print("\n[1/4] supervised run under injection (workers=2)")
+    with collecting("faults-demo") as observer:
+        with faults.injecting(plan), faults.torn_store_writes():
+            runner = CampaignRunner(
+                ResultStore(store_path), workers=2, supervisor=supervisor
+            )
+            run = runner.run(
+                spec,
+                on_progress=lambda d, t, line: print(f"  [{d}/{t}] {line}"),
+            )
+        print(f"  run completed: {len(run.records)} record(s), "
+              f"{len(run.failures)} quarantined")
+        store = ResultStore(store_path)
+        store.records()  # count corrupt lines into the obs counter
+        for name in counters:
+            try:
+                value = observer.registry.value(name)
+            except KeyError:  # counter never fired this run
+                value = 0
+            print(f"  {name} = {value}")
+
+    print("\n[2/4] verify (torn lines expected)")
+    check = store.verify()
+    print(f"  {check.summary()}")
+
+    print("\n[3/4] repair (original kept as .bak)")
+    print(f"  {store.repair().summary()}")
+
+    print("\n[4/4] resume with injection off — torn trials re-run")
+    runner = CampaignRunner(ResultStore(store_path), workers=0, supervisor=supervisor)
+    resumed = runner.run(
+        spec, on_progress=lambda d, t, line: print(f"  [{d}/{t}] {line}")
+    )
+    final = store.verify()
+    print(f"  {final.summary()}")
+    healthy = final.clean and not resumed.failures
+    print(f"\ndemo {'ok' if healthy else 'FAILED'}: every recovery path exercised")
+    return 0 if healthy else 1
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -713,6 +882,24 @@ def build_parser() -> argparse.ArgumentParser:
             c.add_argument(
                 "--quiet", action="store_true", help="suppress per-trial lines"
             )
+            c.add_argument(
+                "--trial-timeout", type=float, default=None, metavar="SECONDS",
+                help="per-attempt wall-clock budget; a worker past it is "
+                "presumed hung and the trial is retried (default: none)",
+            )
+            c.add_argument(
+                "--max-attempts", type=int, default=2,
+                help="attempt budget per trial before quarantine (default: 2)",
+            )
+            c.add_argument(
+                "--checkpoint-dir", default=None, metavar="DIR",
+                help="checkpoint trials mid-flight into DIR so retries "
+                "resume instead of restarting (default: off)",
+            )
+            c.add_argument(
+                "--checkpoint-every", type=int, default=200, metavar="EVENTS",
+                help="engine events between checkpoints (default: 200)",
+            )
             _add_obs_args(c)
 
     c = campaign_sub.add_parser(
@@ -736,6 +923,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_target(c, with_exec=False)
     c.set_defaults(func=_cmd_campaign)
+
+    c = campaign_sub.add_parser(
+        "verify",
+        help="check a result store for torn/corrupt lines; --repair "
+        "rewrites a clean store keeping a .bak",
+    )
+    c.add_argument(
+        "--store", default=DEFAULT_CAMPAIGN_STORE,
+        help="JSONL result store path",
+    )
+    c.add_argument(
+        "--repair", action="store_true",
+        help="rewrite the store without its corrupt lines "
+        "(original saved alongside as .bak)",
+    )
+    c.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "faults",
+        help="deterministic fault injection: chaos-test the campaign "
+        "resilience layer",
+    )
+    faults_sub = p.add_subparsers(dest="cmd", required=True)
+    f = faults_sub.add_parser(
+        "demo",
+        help="run a tiny campaign under seeded crashes, hangs, and torn "
+        "store writes, then verify/repair/resume",
+    )
+    f.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    f.add_argument(
+        "--store", default=None,
+        help="store path for the demo (default: a temp directory)",
+    )
+    f.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
         "geo",

@@ -34,6 +34,7 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.workloads.batch import WorkloadSpec
+from repro.ioutil import atomic_write_text
 
 DEFAULT_OUTPUT = "BENCH_engine.json"
 
@@ -241,7 +242,7 @@ def write_report(
         "pre_refactor_baseline_s": PRE_REFACTOR_BASELINE_S,
         "scenarios": [asdict(m) for m in measurements],
     }
-    Path(path).write_text(json.dumps(doc, indent=1) + "\n")
+    atomic_write_text(Path(path), json.dumps(doc, indent=1) + "\n")
     return doc
 
 

@@ -171,13 +171,19 @@ def carbon_trace_for(config: ExperimentConfig) -> CarbonTrace:
     )
 
 
-def run_experiment(
+def simulation_for(
     config: ExperimentConfig,
     carbon_trace: CarbonTrace | None = None,
-) -> ExperimentResult:
-    """Materialize and run one experiment to completion."""
+) -> Simulation:
+    """Materialize the :class:`Simulation` a config names, unrun.
+
+    :func:`run_experiment` is exactly ``simulation_for(config).run(
+    workload_for(config))``; checkpointing campaign workers use this to
+    drive the same simulation through a :class:`~repro.simulator.engine.
+    SimulationStepper` instead, so both paths stay bit-identical by
+    construction.
+    """
     trace = carbon_trace if carbon_trace is not None else carbon_trace_for(config)
-    submissions = workload_for(config)
     scheduler, provisioner = build_scheduler(config, trace)
     cluster = ClusterConfig(
         num_executors=config.num_executors,
@@ -187,14 +193,21 @@ def run_experiment(
         ),
         mode=config.mode,
     )
-    sim = Simulation(
+    return Simulation(
         config=cluster,
         scheduler=scheduler,
         carbon_api=CarbonIntensityAPI(trace),
         provisioner=provisioner,
         measure_latency=config.measure_latency,
     )
-    return sim.run(submissions)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    carbon_trace: CarbonTrace | None = None,
+) -> ExperimentResult:
+    """Materialize and run one experiment to completion."""
+    return simulation_for(config, carbon_trace).run(workload_for(config))
 
 
 def run_matchup(

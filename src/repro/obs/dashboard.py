@@ -31,6 +31,7 @@ from typing import Any, Sequence
 from repro.obs.metrics import read_jsonl
 from repro.obs.observer import DEFAULT_OBS_DIR, METRICS_FILENAME
 from repro.obs.report import derived_rates
+from repro.ioutil import atomic_write_text
 
 #: Bar fill colors, cycled per chart (muted, print-friendly).
 _PALETTE = ("#4878a8", "#6aa84f", "#b46504", "#8e63a8", "#ad3c3c")
@@ -377,7 +378,5 @@ def build_dashboard(
     """Discover inputs, render, and write the dashboard file."""
     benches, stores, dirs = discover_inputs(bench_paths, store_paths, obs_dirs)
     document = render_dashboard(benches, stores, dirs)
-    path = Path(output)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(document, encoding="utf-8")
-    return path
+    # Atomic, so a published dashboard is never half-written.
+    return atomic_write_text(Path(output), document)

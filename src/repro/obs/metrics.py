@@ -20,6 +20,7 @@ import time
 from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterator
+from repro.ioutil import atomic_write_text
 
 #: Histogram bucket upper bounds: a 1-2-5 ladder across 10 decades
 #: (1e-7 .. 999), sized for latencies in seconds but generic. The last
@@ -212,15 +213,14 @@ class MetricsRegistry:
     ) -> Path:
         """Serialize the snapshot to ``path``: a meta header line, then one
         line per metric. Returns the path written."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         header = {"type": "meta", "generated_at": _utc_now(), **(meta or {})}
         lines = [json.dumps(header, sort_keys=True)]
         lines += [
             json.dumps(row, sort_keys=True) for row in self.snapshot()
         ]
-        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-        return path
+        # Atomic (temp + rename): an interrupted run never leaves a
+        # half-written snapshot.
+        return atomic_write_text(Path(path), "\n".join(lines) + "\n")
 
 
 def read_jsonl(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:

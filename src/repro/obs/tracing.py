@@ -24,6 +24,7 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
+from repro.ioutil import atomic_write_text
 
 #: Chrome-trace process ids for the two clock domains.
 WALL_PID = 1
@@ -145,12 +146,11 @@ class SpanTracer:
         }
 
     def write(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(self.to_chrome_trace(), handle)
-            handle.write("\n")
-        return path
+        # Atomic (temp + rename): an interrupted run leaves the previous
+        # complete trace or none, never a half-written JSON document.
+        return atomic_write_text(
+            path, json.dumps(self.to_chrome_trace()) + "\n"
+        )
 
 
 def _stable_tid(track: str) -> int:

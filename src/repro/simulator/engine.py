@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import pickle
 import time as _wallclock
 from collections import deque
 from dataclasses import dataclass
@@ -401,11 +402,17 @@ class SimulationStepper:
         #: Last fresh carbon reading while the signal is blacked out.
         self._frozen_reading: CarbonReading | None = None
         # -- observability (repro.obs) ----------------------------------
-        # The observer is captured once here; with collection off every
-        # probe site below costs one attribute load + an `is None` test.
-        # Probes only count and time — they never touch RNG state or
-        # event ordering, so enabled runs stay fingerprint-identical
-        # (pinned by tests/test_obs_fingerprints.py).
+        self._attach_observer()
+
+    def _attach_observer(self) -> None:
+        """Capture the ambient observer into the per-stepper probe fields.
+
+        The observer is captured once (at construction, and again on
+        :meth:`restore`); with collection off every probe site costs one
+        attribute load + an `is None` test. Probes only count and time —
+        they never touch RNG state or event ordering, so enabled runs stay
+        fingerprint-identical (pinned by tests/test_obs_fingerprints.py).
+        """
         observer = _current_observer()
         self._obs = observer
         if observer is not None:
@@ -432,6 +439,65 @@ class SimulationStepper:
             self._obs_deferrals = None
             self._obs_select = None
             self._cache_stats = None
+
+    # -- checkpoint / restore -------------------------------------------
+    #: Probe fields excluded from checkpoints: they hold live references
+    #: into the ambient observer's registry, which belongs to the process,
+    #: not the simulation. Restore re-attaches to whatever observer is
+    #: current then.
+    _OBS_FIELDS = (
+        "_obs",
+        "_obs_events",
+        "_obs_heap_hw",
+        "_obs_blocked",
+        "_obs_preempted",
+        "_obs_deferrals",
+        "_obs_select",
+        "_cache_stats",
+    )
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for name in self._OBS_FIELDS:
+            state.pop(name, None)
+        # The frontier caches are pure accelerators — pinned fingerprint
+        # tests prove recomputed entries are bit-equal to cached ones — so
+        # checkpoints drop their contents rather than serialize numpy
+        # blocks that a restored run rebuilds on first touch anyway.
+        if state.get("_ready_cache") is not None:
+            state["_ready_cache"] = {}
+        if state.get("_column_cache") is not None:
+            state["_column_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._attach_observer()
+
+    def checkpoint(self) -> bytes:
+        """Serialize the full engine state — event heap, job runtimes, pool
+        occupancy, trace, RNG generators, frontier epoch — as one blob.
+
+        The determinism contract (pinned by tests/test_checkpoint.py on
+        all seven fingerprint scenarios): ``restore(checkpoint())`` at any
+        cut point, followed by draining, produces a schedule byte-identical
+        to the uninterrupted run. Pickle round-trips floats, numpy arrays,
+        and ``np.random.Generator`` state exactly, which is what makes the
+        contract hold.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "SimulationStepper":
+        """Rebuild a stepper from :meth:`checkpoint` output and re-attach
+        it to the current process's observer (if any)."""
+        stepper = pickle.loads(blob)
+        if not isinstance(stepper, cls):
+            raise TypeError(
+                f"checkpoint does not hold a {cls.__name__} "
+                f"(got {type(stepper).__name__})"
+            )
+        return stepper
 
     # -- job intake -----------------------------------------------------
     def submit(self, sub: JobSubmission) -> None:
