@@ -1,0 +1,219 @@
+"""Streaming service-mode benchmark: jobs/s and the flat-memory ceiling.
+
+A pinned steady-state scenario — fifo on 16 executors, TPC-H scale-2 jobs
+arriving Poisson(30s), utilization ~0.6 — is run at two stream lengths an
+order of magnitude apart. Each length runs in its own subprocess so
+``ru_maxrss`` measures that case alone, and the acceptance gate is the
+subsystem's headline claim: peak RSS stays flat as the job count grows
+10x, because the :class:`~repro.simulator.streaming.StreamingAggregator`
+folds records in O(1) memory and :meth:`retire_finished` garbage-collects
+jobs in flight.
+
+- smoke mode compares 10^3 vs 10^4 jobs (seconds-scale, run by CI);
+- full mode compares 10^4 vs 10^5 jobs, so the large case demonstrates
+  >= 10^5 jobs through one stream.
+
+Dual-use:
+
+- ``python benchmarks/bench_stream.py [--smoke]`` runs standalone and
+  writes ``BENCH_stream.json`` (CI uploads the smoke variant);
+- ``pytest benchmarks/bench_stream.py --benchmark-only`` times the smoke
+  scenario under pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import __version__
+from repro.experiments.runner import ExperimentConfig
+from repro.stream import ServiceConfig, run_service
+from repro.workloads.stream import StreamSpec
+
+#: Peak-RSS growth allowed between the small and the 10x-larger run. A
+#: truly O(jobs) path would blow straight through this; the streaming
+#: path's growth is allocator noise.
+RSS_CEILING = 1.35
+
+SMOKE_CASES = (1_000, 10_000)
+FULL_CASES = (10_000, 100_000)
+
+
+def scenario(max_jobs: int) -> ServiceConfig:
+    """The pinned steady-state scenario at a given stream length."""
+    return ServiceConfig(
+        experiment=ExperimentConfig(
+            scheduler="fifo", num_executors=16, seed=0
+        ),
+        stream=StreamSpec(
+            family="tpch",
+            mean_interarrival=30.0,
+            tpch_scales=(2,),
+            seed=0,
+            max_jobs=max_jobs,
+        ),
+        window_s=3600.0,
+        epoch_events=8192,
+    )
+
+
+def run_case(max_jobs: int) -> dict:
+    """Run one stream length in-process and report throughput + peak RSS.
+
+    Meant to run in a fresh subprocess per case: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so measuring two cases in one
+    process would let the first contaminate the second.
+    """
+    start = time.perf_counter()
+    report = run_service(scenario(max_jobs))
+    wall_s = time.perf_counter() - start
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "jobs": report.jobs_completed,
+        "events": report.events_processed,
+        "epochs": report.epochs,
+        "windows": len(report.windows),
+        "wall_s": wall_s,
+        "jobs_per_s": report.jobs_completed / wall_s if wall_s else 0.0,
+        "peak_rss_kb": peak_rss_kb,
+        "utilization": report.summary["utilization"],
+        "avg_jct": report.summary["avg_jct"],
+        "fingerprint": report.fingerprint,
+    }
+
+
+def run_case_subprocess(max_jobs: int) -> dict:
+    """Run one case in its own interpreter for an isolated RSS reading."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, __file__, "--worker", str(max_jobs)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def run_benchmark(smoke: bool) -> dict:
+    small_jobs, large_jobs = SMOKE_CASES if smoke else FULL_CASES
+    small = run_case_subprocess(small_jobs)
+    large = run_case_subprocess(large_jobs)
+    return {
+        "benchmark": "stream-steady",
+        "version": __version__,
+        "mode": "smoke" if smoke else "full",
+        "scheduler": "fifo",
+        "executors": 16,
+        "mean_interarrival_s": 30.0,
+        "rss_ceiling": RSS_CEILING,
+        "cases": {str(small_jobs): small, str(large_jobs): large},
+        "small_jobs": small_jobs,
+        "large_jobs": large_jobs,
+        "steady_jobs_per_s": large["jobs_per_s"],
+        "rss_ratio": large["peak_rss_kb"] / small["peak_rss_kb"],
+    }
+
+
+def format_figure(doc: dict) -> list[str]:
+    lines = [
+        f"streaming steady state — {doc['scheduler']}, "
+        f"{doc['executors']} executors, "
+        f"Poisson({doc['mean_interarrival_s']:.0f}s) arrivals"
+    ]
+    lines.append(
+        f"  {'jobs':>8} {'events':>9} {'wall_s':>8} {'jobs/s':>8} "
+        f"{'rss_MB':>8} {'util':>6}"
+    )
+    for jobs in (doc["small_jobs"], doc["large_jobs"]):
+        c = doc["cases"][str(jobs)]
+        lines.append(
+            f"  {c['jobs']:>8} {c['events']:>9} {c['wall_s']:>8.1f} "
+            f"{c['jobs_per_s']:>8.0f} {c['peak_rss_kb'] / 1024:>8.1f} "
+            f"{c['utilization']:>6.3f}"
+        )
+    lines.append(
+        f"  peak-RSS ratio at 10x jobs: {doc['rss_ratio']:.3f} "
+        f"(ceiling {doc['rss_ceiling']})"
+    )
+    return lines
+
+
+def check_acceptance(doc: dict) -> None:
+    assert doc["rss_ratio"] <= doc["rss_ceiling"], (
+        f"peak RSS must stay flat as the stream grows 10x: "
+        f"ratio {doc['rss_ratio']:.3f} exceeds ceiling {doc['rss_ceiling']}"
+    )
+    large = doc["cases"][str(doc["large_jobs"])]
+    assert large["jobs"] == doc["large_jobs"], (
+        f"large case must complete every job "
+        f"({large['jobs']} != {doc['large_jobs']})"
+    )
+    if doc["mode"] == "full":
+        assert doc["large_jobs"] >= 100_000, (
+            "full mode must push >= 1e5 jobs through one stream"
+        )
+    # A saturated scenario would grow its active set and invalidate the
+    # memory claim; steady state means the queue stays drained.
+    assert large["utilization"] < 0.95, (
+        f"scenario saturated (utilization {large['utilization']:.3f}); "
+        f"the memory gate is only meaningful at steady state"
+    )
+
+
+def write_report(doc: dict, output: str) -> None:
+    Path(output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="10^3 vs 10^4 jobs (seconds-scale CI gate) "
+             "instead of 10^4 vs 10^5",
+    )
+    parser.add_argument(
+        "--worker", type=int, metavar="JOBS",
+        help="internal: run one case in this process and print JSON",
+    )
+    parser.add_argument("--output", default="BENCH_stream.json")
+    args = parser.parse_args(argv)
+    if args.worker is not None:
+        print(json.dumps(run_case(args.worker)))
+        return 0
+    doc = run_benchmark(smoke=args.smoke)
+    for line in format_figure(doc):
+        print(line)
+    check_acceptance(doc)
+    write_report(doc, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_stream_steady_state(benchmark):
+    """pytest-benchmark entry point (smoke scale, timed once)."""
+    from _report import emit, run_once
+
+    doc = run_once(benchmark, run_benchmark, True)
+    emit("Streaming steady state — BENCH_stream", format_figure(doc))
+    check_acceptance(doc)
+    write_report(doc, "BENCH_stream.json")
+    benchmark.extra_info["steady_jobs_per_s"] = doc["steady_jobs_per_s"]
+    benchmark.extra_info["rss_ratio"] = doc["rss_ratio"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ Gives downstream users the paper's experiments without writing code:
   under a seeded schedule of region outages / curtailments / carbon-signal
   blackouts, compare failover on vs. off vs. undisrupted, or sweep the
   ``disrupt-sweep`` campaign preset;
+- ``repro stream`` — service mode: drive an open-ended arrival stream in
+  O(1) memory (``run``), re-render a saved report (``report``), or sweep a
+  streaming campaign preset (``sweep``);
 - ``repro obs`` — render a collected metrics snapshot (``report``) or
   build the static HTML dashboard (``dashboard``).
 
@@ -31,6 +34,7 @@ stderr with a non-zero exit code.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -457,6 +461,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.experiments.perf import (
         build_scenarios,
         format_report,
+        measure_campaign_throughput,
         run_scenario,
         smoke_scenarios,
         write_report,
@@ -475,8 +480,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(f"running {scenario.name} ...", flush=True)
         measurements.append(run_scenario(scenario, collect_cache_stats=True))
+    campaign = None
+    if not args.no_campaign:
+        if not args.quiet:
+            print("running campaign-throughput (smoke preset) ...", flush=True)
+        campaign = measure_campaign_throughput()
     print(format_report(measurements))
-    write_report(measurements, args.output)
+    if campaign is not None:
+        print(
+            f"campaign throughput: {campaign['trials_per_min']:.1f} "
+            f"trials/min ({campaign['trials']} trials in "
+            f"{campaign['wall_s']:.1f}s, preset {campaign['preset']!r})"
+        )
+    write_report(measurements, args.output, campaign_throughput=campaign)
     print(f"wrote {args.output}")
     return 0
 
@@ -714,6 +730,135 @@ def _cmd_disrupt(args: argparse.Namespace) -> int:
     return handlers[args.cmd](args)
 
 
+def _cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        ServiceConfig,
+        ServiceRunner,
+        format_stream_report,
+    )
+    from repro.workloads.stream import StreamSpec
+
+    if args.jobs is None and args.horizon is None:
+        _error("bound the run with --jobs and/or --horizon")
+        return 2
+    experiment = ExperimentConfig(
+        scheduler=args.scheduler,
+        grid=args.grid,
+        num_executors=args.executors,
+        gamma=args.gamma,
+        seed=args.seed,
+    )
+    stream = StreamSpec(
+        family=args.family,
+        mean_interarrival=args.interarrival,
+        tpch_scales=tuple(args.scales),
+        seed=args.seed,
+        max_jobs=args.jobs,
+        horizon_s=args.horizon,
+        gc_policy=args.gc_policy,
+    )
+    config = ServiceConfig(
+        experiment=experiment,
+        stream=stream,
+        window_s=args.window,
+        epoch_events=args.epoch_events,
+        checkpoint_every_epochs=(
+            args.checkpoint_every if args.checkpoint_dir else 0
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    def progress(runner: ServiceRunner) -> None:
+        if not args.quiet:
+            print(
+                f"[epoch {runner.epochs:>4}] "
+                f"arrived={runner.aggregator.jobs_arrived} "
+                f"done={runner.aggregator.jobs_completed} "
+                f"active={runner.jobs_active}",
+                file=sys.stderr,
+            )
+
+    runner = ServiceRunner(config, on_epoch=progress)
+    report = runner.run(max_epochs=args.max_epochs)
+    print(format_stream_report(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stream_report(args: argparse.Namespace) -> int:
+    from repro.stream import StreamReport, format_stream_report
+
+    if not os.path.exists(args.input):
+        _error(
+            f"no stream report at {args.input!r}; run "
+            "'repro stream run --output <path>' first"
+        )
+        return 2
+    with open(args.input, encoding="utf-8") as fh:
+        report = StreamReport.from_dict(json.load(fh))
+    print(format_stream_report(report))
+    return 0
+
+
+def _cmd_stream_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+    from repro.campaign.stream import (
+        format_stream_campaign_report,
+        run_stream_campaign,
+        stream_campaign_report,
+        stream_presets,
+    )
+
+    presets = stream_presets()
+    if args.name not in presets:
+        _error(
+            f"unknown stream campaign {args.name!r}; "
+            f"choose from {sorted(presets)}"
+        )
+        return 2
+    spec = presets[args.name]
+    store = ResultStore(args.store)
+    print(
+        f"stream campaign {spec.name!r}: {len(spec.trials())} trials "
+        f"({spec.axis_summary()}), store {args.store}"
+    )
+
+    def progress(done: int, total: int, line: str) -> None:
+        if not args.quiet:
+            print(f"[{done:>3}/{total}] {line}")
+
+    run = run_stream_campaign(
+        spec, store, on_progress=progress, workers=args.workers
+    )
+    stats = run.stats
+    print(
+        f"done in {run.wall_time_s:.1f}s: {stats.misses} simulated, "
+        f"{stats.hits} cached, {len(run.failures)} failed"
+    )
+    for record in run.failures:
+        print(f"  FAILED {record.key}: {record.error}")
+    rows = stream_campaign_report(run.records)
+    print(
+        format_stream_campaign_report(
+            rows, title=f"stream campaign {spec.name!r}"
+        )
+    )
+    return 1 if run.failures else 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_stream_run,
+        "report": _cmd_stream_report,
+        "sweep": _cmd_stream_sweep,
+    }
+    return handlers[args.cmd](args)
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
 
@@ -736,6 +881,7 @@ def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
         bench_paths=args.bench,
         store_paths=args.store,
         obs_dirs=args.obs_dir,
+        history_dir=args.history_dir,
     )
     print(f"wrote {path}")
     return 0
@@ -847,6 +993,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch sizes to time (full mode only)",
     )
     p.add_argument("--executors", type=int, default=50)
+    p.add_argument(
+        "--no-campaign", action="store_true",
+        help="skip the campaign-throughput (trials/min) measurement",
+    )
     p.add_argument("--quiet", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=_cmd_perf)
@@ -1079,6 +1229,86 @@ def build_parser() -> argparse.ArgumentParser:
     d.set_defaults(func=_cmd_disrupt)
 
     p = sub.add_parser(
+        "stream",
+        help="service mode: open-ended arrival streams in O(1) memory",
+    )
+    stream_sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = stream_sub.add_parser(
+        "run", help="drive a bounded service run and print its report"
+    )
+    s.add_argument("--scheduler", default="pcaps", choices=SCHEDULER_NAMES)
+    s.add_argument("--grid", default="DE", choices=GRID_CODES)
+    s.add_argument("--executors", type=int, default=16)
+    s.add_argument("--family", default="tpch", choices=("tpch", "alibaba"))
+    s.add_argument(
+        "--jobs", type=int, default=None,
+        help="stop the stream after this many jobs",
+    )
+    s.add_argument(
+        "--horizon", type=float, default=None,
+        help="stop admitting arrivals after this simulated time (s)",
+    )
+    s.add_argument("--interarrival", type=float, default=20.0)
+    s.add_argument(
+        "--scales", type=int, nargs="+", default=[2],
+        help="TPC-H data scales sampled per job",
+    )
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--gamma", type=float, default=0.5)
+    s.add_argument(
+        "--gc-policy", default="retire", choices=("retire", "keep"),
+        help="retire finished jobs in flight (O(1) memory) or keep them",
+    )
+    s.add_argument(
+        "--window", type=float, default=600.0,
+        help="recent-history window width (simulated s)",
+    )
+    s.add_argument("--epoch-events", type=int, default=4096)
+    s.add_argument(
+        "--max-epochs", type=int, default=None,
+        help="stop early after this many epochs (default: run to drain)",
+    )
+    s.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write rolling service checkpoints into DIR",
+    )
+    s.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="EPOCHS",
+        help="epochs between checkpoints (with --checkpoint-dir)",
+    )
+    s.add_argument(
+        "--output", default=None,
+        help="also write the report JSON here (for 'stream report')",
+    )
+    s.add_argument("--quiet", action="store_true")
+    s.set_defaults(func=_cmd_stream)
+
+    s = stream_sub.add_parser(
+        "report", help="re-render a saved service-run report"
+    )
+    s.add_argument(
+        "--input", default="stream-report.json",
+        help="report JSON written by 'stream run --output'",
+    )
+    s.set_defaults(func=_cmd_stream)
+
+    s = stream_sub.add_parser(
+        "sweep", help="run a streaming campaign preset against the store"
+    )
+    s.add_argument(
+        "name", help="stream campaign preset (stream-smoke, stream-steady)"
+    )
+    s.add_argument("--store", default=DEFAULT_CAMPAIGN_STORE)
+    s.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count; 0/1 = inline)",
+    )
+    s.add_argument("--quiet", action="store_true")
+    _add_obs_args(s)
+    s.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser(
         "obs",
         help="observability: render metrics snapshots, build the dashboard",
     )
@@ -1115,6 +1345,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-dir", nargs="*", default=None,
         help="obs artifact directories to include "
         f"(default: {DEFAULT_OBS_DIR} if present)",
+    )
+    o.add_argument(
+        "--history-dir", default=None,
+        help="directory of per-run snapshot subdirectories (each holding "
+        "BENCH_*.json) to render as headline-metric trends",
     )
     o.set_defaults(func=_cmd_obs)
 

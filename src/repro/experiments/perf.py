@@ -9,7 +9,10 @@ complete simulated trials across a scheduler × job-count grid and reports:
 - **tasks/s** — task placements per second of wall time;
 - **select latency** — mean wall-clock per scheduler invocation, the
   paper's Fig. 20 metric (measured via ``measure_latency=True``);
-- **carbon tally time** — the ex-post accounting pass, timed separately.
+- **carbon tally time** — the ex-post accounting pass, timed separately;
+- **campaign throughput** — trials/min through the full campaign stack
+  (spec expansion, content-addressed keys, store append), measured by
+  running the ``smoke`` campaign preset cold against a throwaway store.
 
 Results land in ``BENCH_engine.json`` so every future change has a
 regression baseline to diff against. :data:`PRE_REFACTOR_BASELINE_S`
@@ -220,6 +223,39 @@ def run_scenario(
     )
 
 
+def measure_campaign_throughput(
+    preset: str = "smoke", workers: int = 0
+) -> dict:
+    """Trials/min through the campaign stack, measured cold.
+
+    Runs the named campaign preset against a throwaway store (no cache
+    hits — every trial simulates), so the number includes spec expansion,
+    trial keying, pool dispatch, and store appends, not just raw engine
+    time. ``workers=0`` runs inline; pass a pool size to measure the
+    parallel path instead.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignRunner, ResultStore, campaign_presets
+
+    spec = campaign_presets()[preset]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "perf-campaign.jsonl")
+        runner = CampaignRunner(store, workers=workers)
+        t0 = time.perf_counter()
+        run = runner.run(spec)
+        wall = time.perf_counter() - t0
+    trials = len(run.records)
+    return {
+        "preset": preset,
+        "workers": workers,
+        "trials": trials,
+        "failures": len(run.failures),
+        "wall_s": wall,
+        "trials_per_min": trials / wall * 60.0 if wall > 0 else 0.0,
+    }
+
+
 def run_suite(
     scenarios: Iterable[PerfScenario], collect_cache_stats: bool = True
 ) -> list[PerfMeasurement]:
@@ -230,7 +266,9 @@ def run_suite(
 
 
 def write_report(
-    measurements: Sequence[PerfMeasurement], path: str | Path
+    measurements: Sequence[PerfMeasurement],
+    path: str | Path,
+    campaign_throughput: dict | None = None,
 ) -> dict:
     """Serialize measurements (plus provenance) to ``path``; returns the doc."""
     doc = {
@@ -242,6 +280,8 @@ def write_report(
         "pre_refactor_baseline_s": PRE_REFACTOR_BASELINE_S,
         "scenarios": [asdict(m) for m in measurements],
     }
+    if campaign_throughput is not None:
+        doc["campaign_throughput"] = campaign_throughput
     atomic_write_text(Path(path), json.dumps(doc, indent=1) + "\n")
     return doc
 

@@ -238,6 +238,91 @@ def _store_section(path: str) -> str:
     return "".join(out)
 
 
+# -- bench history (trend section) ---------------------------------------
+def headline_metrics(doc: dict) -> dict[str, float]:
+    """The one-or-two numbers worth trending from a bench report.
+
+    Keyed by the report's ``benchmark`` field; unknown benchmarks
+    contribute nothing (the trend section only charts what it
+    understands).
+    """
+    out: dict[str, float] = {}
+    kind = doc.get("benchmark")
+    if kind == "engine-throughput":
+        rates = [
+            float(s.get("events_per_s", 0.0))
+            for s in doc.get("scenarios", [])
+        ]
+        if rates:
+            out["engine events/s (mean)"] = sum(rates) / len(rates)
+        campaign = doc.get("campaign_throughput")
+        if campaign:
+            out["campaign trials/min"] = float(campaign["trials_per_min"])
+    elif kind == "stream-steady":
+        out["stream jobs/s"] = float(doc.get("steady_jobs_per_s", 0.0))
+        out["stream peak-RSS ratio"] = float(doc.get("rss_ratio", 0.0))
+    return out
+
+
+def history_series(
+    directory: str,
+) -> tuple[list[str], dict[str, list[tuple[str, float]]]]:
+    """Collect per-snapshot headline metrics from a history directory.
+
+    Layout: one subdirectory per recorded run, each holding that run's
+    ``BENCH_*.json`` files. Subdirectories are taken in sorted-name order,
+    so snapshot names must sort chronologically (CI uses the zero-padded
+    run number — see ``.github/workflows/ci.yml``). Returns the snapshot
+    names plus ``{metric: [(snapshot, value), ...]}``.
+    """
+    root = Path(directory)
+    snapshots: list[str] = []
+    series: dict[str, list[tuple[str, float]]] = {}
+    if not root.is_dir():
+        return snapshots, series
+    for snap_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        snapshots.append(snap_dir.name)
+        for bench in sorted(snap_dir.glob("BENCH_*.json")):
+            try:
+                doc = json.loads(bench.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            for metric, value in headline_metrics(doc).items():
+                series.setdefault(metric, []).append((snap_dir.name, value))
+    return snapshots, series
+
+
+def _history_section(directory: str) -> str:
+    snapshots, series = history_series(directory)
+    out = [f"<h2>bench history: {_esc(directory)}</h2>"]
+    if not snapshots:
+        out.append(
+            '<p class="empty">no snapshots — expected one subdirectory '
+            "per run, each holding BENCH_*.json files</p>"
+        )
+        return "".join(out)
+    out.append(
+        f'<p class="meta">{len(snapshots)} snapshots, oldest first: '
+        f"{_esc(snapshots[0])} … {_esc(snapshots[-1])}</p>"
+    )
+    if not series:
+        out.append(
+            '<p class="empty">snapshots held no recognizable bench '
+            "reports</p>"
+        )
+        return "".join(out)
+    for i, metric in enumerate(sorted(series)):
+        points = series[metric]
+        fmt = "{:.3f}" if max(v for _, v in points) < 10 else "{:,.0f}"
+        out.append(
+            bar_chart(
+                points, metric, fmt=fmt,
+                color=_PALETTE[i % len(_PALETTE)],
+            )
+        )
+    return "".join(out)
+
+
 # -- obs snapshots -------------------------------------------------------
 def _obs_section(directory: str) -> str:
     metrics_path = os.path.join(directory, METRICS_FILENAME)
@@ -301,6 +386,7 @@ def render_dashboard(
     bench_paths: Sequence[str] = (),
     store_paths: Sequence[str] = (),
     obs_dirs: Sequence[str] = (),
+    history_dir: str | None = None,
 ) -> str:
     """The full dashboard HTML document as a string."""
     from repro import __version__
@@ -309,6 +395,8 @@ def render_dashboard(
     sections: list[str] = []
     for path in bench_paths:
         sections.append(_bench_section(path))
+    if history_dir is not None:
+        sections.append(_history_section(history_dir))
     for path in store_paths:
         sections.append(_store_section(path))
     for directory in obs_dirs:
@@ -374,9 +462,10 @@ def build_dashboard(
     bench_paths: Sequence[str] | None = None,
     store_paths: Sequence[str] | None = None,
     obs_dirs: Sequence[str] | None = None,
+    history_dir: str | None = None,
 ) -> Path:
     """Discover inputs, render, and write the dashboard file."""
     benches, stores, dirs = discover_inputs(bench_paths, store_paths, obs_dirs)
-    document = render_dashboard(benches, stores, dirs)
+    document = render_dashboard(benches, stores, dirs, history_dir=history_dir)
     # Atomic, so a published dashboard is never half-written.
     return atomic_write_text(Path(output), document)

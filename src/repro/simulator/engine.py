@@ -28,7 +28,12 @@ from repro.obs.observer import current as _current_observer
 from repro.simulator.interfaces import Provisioner, StageScheduler
 from repro.simulator.metrics import ExperimentResult
 from repro.simulator.state import ClusterView, JobRuntime
-from repro.simulator.trace import HoldRecord, ScheduleTrace, TaskRecord
+from repro.simulator.trace import (
+    HoldRecord,
+    ScheduleTrace,
+    TaskRecord,
+    TraceAppender,
+)
 from repro.workloads.arrivals import JobSubmission
 
 _ARRIVAL, _TASK_DONE, _CARBON_STEP, _CAPACITY, _SIGNAL = 0, 1, 2, 3, 4
@@ -245,6 +250,16 @@ class _ExecutorPool:
                 (executor_id, self._token[executor_id])
             )
 
+    def forget_job(self, job_id: int) -> None:
+        """Drop a finished job's candidate queue (streaming-mode GC).
+
+        ``take(job_id)`` is never called again for a finished job, so the
+        queue is dead weight; dropping it does not perturb any other job's
+        selection order. ``last_job`` affinity entries are deliberately kept
+        (``add_back`` may recreate a queue, bounded by the executor count).
+        """
+        self._by_job.pop(job_id, None)
+
     def free_for(self, job_id: int) -> int:
         return self._general_count + len(self.reserved.get(job_id, ()))
 
@@ -299,15 +314,20 @@ class Simulation:
         self._seq = itertools.count()
 
     # ------------------------------------------------------------------
-    def stepper(self) -> "SimulationStepper":
+    def stepper(self, trace: TraceAppender | None = None) -> "SimulationStepper":
         """An incremental driver over this simulation's event loop.
 
         Resets the scheduler, provisioner, and event tie-break counter, so a
         fresh stepper replays exactly like a fresh :meth:`run`. Used by the
         federation coordinator (:mod:`repro.geo`), which interleaves several
         engines in one virtual timeline and injects jobs between events.
+
+        ``trace`` selects the trace backend: any :class:`TraceAppender`
+        (e.g. a :class:`~repro.simulator.streaming.StreamingAggregator` for
+        O(1)-memory service mode). ``None`` keeps the default materialized
+        :class:`ScheduleTrace`.
         """
-        return SimulationStepper(self)
+        return SimulationStepper(self, trace=trace)
 
     def run(self, submissions: Sequence[JobSubmission]) -> ExperimentResult:
         """Simulate the batch to completion and return the measurements."""
@@ -343,7 +363,9 @@ class SimulationStepper:
     disruptions installed replays bit-identically to ``run()``.
     """
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(
+        self, sim: Simulation, trace: TraceAppender | None = None
+    ) -> None:
         self.sim = sim
         sim.scheduler.reset()
         if sim.provisioner is not None:
@@ -358,9 +380,13 @@ class SimulationStepper:
         # ClusterView reuses this mapping instead of re-sorting all jobs.
         self.active: dict[int, JobRuntime] = {}
         self.pool = _ExecutorPool(sim.config.num_executors)
-        self.trace = ScheduleTrace(
-            total_executors=sim.config.num_executors,
-            idle_power_fraction=sim.config.idle_power_fraction,
+        self.trace: TraceAppender = (
+            trace
+            if trace is not None
+            else ScheduleTrace(
+                total_executors=sim.config.num_executors,
+                idle_power_fraction=sim.config.idle_power_fraction,
+            )
         )
         self.events: list[tuple[float, int, int, tuple]] = []
         self.sched_time = 0.0
@@ -729,7 +755,8 @@ class SimulationStepper:
                 if token in self._cancelled:
                     self._cancelled.discard(token)
                     continue  # task was preempted; its relaunch is pending
-                del self._inflight[token]
+                trace_index = self._inflight.pop(token)[3]
+                trace.task_done(trace_index)
                 self._frontier_epoch += 1
                 job_done = jobs[job_id].record_task_finish(stage_id, now)
                 pool.release(executor_id, job_id, hold=holds and not job_done)
@@ -887,7 +914,7 @@ class SimulationStepper:
                 start = now
                 work_start = now + delay
                 end = work_start + runtime.stage.task_duration
-                trace.add_task(
+                trace_index = trace.add_task(
                     TaskRecord(
                         job_id=choice.job_id,
                         stage_id=choice.stage_id,
@@ -903,7 +930,7 @@ class SimulationStepper:
                     choice.job_id,
                     choice.stage_id,
                     executor_id,
-                    len(trace.tasks) - 1,
+                    trace_index,
                 )
                 self._push(
                     end,
@@ -923,8 +950,37 @@ class SimulationStepper:
         return now
 
     # -- finalization ---------------------------------------------------
+    def retire_finished(self) -> list[tuple[int, float, float, float]]:
+        """Garbage-collect finished jobs' runtime state (streaming mode).
+
+        Pops every done job from :attr:`jobs`, forgets its executor-affinity
+        queue, and decrements the submitted count, so steady-state memory
+        stays proportional to the *active* job set instead of everything
+        ever run. Returns ``(job_id, arrival, finish, total_work)`` per
+        retired job so the caller can fold completion metrics (JCT, stretch)
+        before the state is gone. Retirement never alters scheduling:
+        finished jobs are already out of :attr:`active` and their pool
+        queues are never consulted again.
+        """
+        retired: list[tuple[int, float, float, float]] = []
+        done_ids = [job_id for job_id, job in self.jobs.items() if job.done]
+        for job_id in done_ids:
+            job = self.jobs.pop(job_id)
+            self._submitted -= 1
+            self.pool.forget_job(job_id)
+            retired.append(
+                (job_id, job.arrival_time, job.finish_time, job.dag.total_work)
+            )
+        return retired
+
     def result(self) -> ExperimentResult:
         """Measurements for everything submitted so far (all must be done)."""
+        if not isinstance(self.trace, ScheduleTrace):
+            raise RuntimeError(
+                "result() requires the materialized ScheduleTrace backend; "
+                "streaming runs read their StreamingAggregator instead "
+                "(see repro.stream)"
+            )
         jobs = self.jobs
         unfinished = [job_id for job_id, job in jobs.items() if not job.done]
         if unfinished or len(jobs) != self._submitted:

@@ -13,6 +13,7 @@ carbon-agnostic baseline:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,9 +52,13 @@ class ExperimentResult:
 
     @property
     def avg_jct(self) -> float:
-        """Average job completion time over the batch (seconds)."""
+        """Average job completion time over the batch (seconds).
+
+        Exactly-rounded summation (order-independent), matching the
+        streaming aggregates bit for bit — see ``docs/streaming.md``.
+        """
         jcts = list(self.job_completion_times.values())
-        return float(np.mean(jcts)) if jcts else 0.0
+        return math.fsum(jcts) / len(jcts) if jcts else 0.0
 
     @property
     def ect(self) -> float:

@@ -6,11 +6,29 @@ are used to tally the footprint" (Section 5.2). A :class:`ScheduleTrace` is
 that record: one :class:`TaskRecord` per task placement, plus quota-change
 events, from which carbon, utilization plots (Fig. 6), and jobs-in-system
 plots (Fig. 15) are all derived.
+
+The engine writes records through the :class:`TraceAppender` contract, which
+has two backends:
+
+- :class:`ScheduleTrace` (here, the default) materializes every record, so
+  any metric or plot can be derived after the fact;
+- :class:`~repro.simulator.streaming.StreamingAggregator` folds each record
+  into O(1) running aggregates for open-ended service-mode runs
+  (``repro stream``), where materializing 10⁵–10⁶ jobs of history is the
+  memory bottleneck.
+
+Summary tallies (:meth:`ScheduleTrace.carbon_footprint`,
+:meth:`ScheduleTrace.total_busy_time`) use exactly-rounded summation
+(:func:`math.fsum`), which is order-independent — the property that lets the
+streaming backend fold records one at a time and still reproduce the
+materialized numbers bit for bit (see ``docs/streaming.md``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -90,6 +108,42 @@ class QuotaRecord:
 OccupancyRecord = TaskRecord | HoldRecord
 
 
+@runtime_checkable
+class TraceAppender(Protocol):
+    """What the engine needs from a trace backend.
+
+    The engine never reads records back during a run — it only appends —
+    so a backend is free to materialize (:class:`ScheduleTrace`) or fold
+    and discard (:class:`~repro.simulator.streaming.StreamingAggregator`).
+    The contract:
+
+    - :meth:`add_task` is called at *launch* with the projected record
+      (``end`` already computed) and returns an opaque integer handle;
+    - :meth:`task_done` is called with that handle when the task's
+      completion event is processed — from then on the record is final
+      and a streaming backend may fold and drop it;
+    - :meth:`truncate_task` is called with the handle instead when a
+      capacity disruption kills the task mid-flight; the truncated,
+      ``preempted=True`` record is final immediately;
+    - :meth:`add_hold` / :meth:`add_quota` records are final on append;
+    - ``deferrals`` is a plain counter the engine increments in place.
+    """
+
+    total_executors: int
+    deferrals: int
+    idle_power_fraction: float
+
+    def add_task(self, record: TaskRecord) -> int: ...
+
+    def task_done(self, handle: int) -> None: ...
+
+    def truncate_task(self, handle: int, end: float) -> TaskRecord: ...
+
+    def add_hold(self, record: HoldRecord) -> None: ...
+
+    def add_quota(self, time: float, quota: int) -> None: ...
+
+
 @dataclass
 class _IntervalArrays:
     """Array-backed view of a record list for vectorized accounting."""
@@ -143,8 +197,14 @@ class ScheduleTrace:
         default=None, repr=False, compare=False
     )
 
-    def add_task(self, record: TaskRecord) -> None:
+    def add_task(self, record: TaskRecord) -> int:
+        """Append one launch record; the returned handle is its list index."""
         self.tasks.append(record)
+        return len(self.tasks) - 1
+
+    def task_done(self, handle: int) -> None:
+        """Completion notification (:class:`TraceAppender`): records are
+        already final here, so nothing to do."""
 
     def truncate_task(self, index: int, end: float) -> TaskRecord:
         """Cut a launched task short at ``end`` and mark it preempted.
@@ -214,14 +274,18 @@ class ScheduleTrace:
         return float(tasks.ends.max()) if tasks.count else 0.0
 
     def total_busy_time(self) -> float:
-        """Executor-seconds of occupancy (the energy proxy)."""
+        """Executor-seconds of occupancy (the energy proxy).
+
+        Exactly-rounded (order-independent) summation, so the streaming
+        backend reproduces this number from per-record folds bit for bit.
+        """
         occupancy = self.occupancy_arrays()
-        return float(np.sum(occupancy.ends - occupancy.starts))
+        return math.fsum(occupancy.ends - occupancy.starts)
 
     def total_task_time(self) -> float:
         """Executor-seconds actually spent running tasks (incl. moves)."""
         tasks = self.task_arrays()
-        return float(np.sum(tasks.ends - tasks.starts))
+        return math.fsum(tasks.ends - tasks.starts)
 
     def carbon_footprint(self, carbon: CarbonTrace) -> float:
         """Ex-post carbon tally.
@@ -234,14 +298,14 @@ class ScheduleTrace:
         the paper's normalized carbon-footprint ratios.
         """
         tasks = self.task_arrays()
-        task_carbon = float(
-            np.sum(carbon.integrate_many(tasks.starts, tasks.ends))
+        task_carbon = math.fsum(
+            carbon.integrate_many(tasks.starts, tasks.ends)
         )
         if not self.holds:
             return task_carbon
         holds = self.hold_arrays()
-        hold_carbon = float(
-            np.sum(carbon.integrate_many(holds.starts, holds.ends))
+        hold_carbon = math.fsum(
+            carbon.integrate_many(holds.starts, holds.ends)
         )
         idle_carbon = max(hold_carbon - task_carbon, 0.0)
         return task_carbon + self.idle_power_fraction * idle_carbon

@@ -47,6 +47,37 @@ def poisson_arrival_times(
     return start + np.cumsum(gaps)
 
 
+class PoissonArrivalGenerator:
+    """Incremental twin of :func:`poisson_arrival_times`.
+
+    Draws one exponential gap per call and carries the running sum, so the
+    first ``n`` times equal ``poisson_arrival_times(n, ...)`` bit for bit:
+    ``np.cumsum`` accumulates the same float64 gap sequence in the same
+    order, and numpy's ``Generator`` consumes its bit stream identically
+    whether values are drawn one at a time or as an array. Open-ended
+    streams (:mod:`repro.workloads.stream`) rely on this to reproduce any
+    batch prefix exactly.
+    """
+
+    def __init__(
+        self,
+        mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL_S,
+        seed: int | None = 0,
+        start: float = 0.0,
+    ) -> None:
+        if mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        self.mean_interarrival = mean_interarrival
+        self.start = start
+        self._rng = np.random.default_rng(seed)
+        self._cum = 0.0
+
+    def next_time(self) -> float:
+        """The next arrival time (strictly increasing across calls)."""
+        self._cum = self._cum + self._rng.exponential(self.mean_interarrival)
+        return float(self.start + self._cum)
+
+
 def submissions_from_dags(
     dags: list[JobDAG],
     mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL_S,

@@ -82,7 +82,7 @@ class TestHelpSnapshot:
         """The snapshot: adding/renaming a subcommand must update docs."""
         assert self.subcommands() == {
             "table1", "table2", "table3", "fig1", "run", "sweep", "grids",
-            "perf", "campaign", "geo", "disrupt", "obs", "faults",
+            "perf", "campaign", "geo", "disrupt", "stream", "obs", "faults",
         }
 
     def test_every_subcommand_documented_in_cli_md(self):

@@ -30,6 +30,10 @@ SMOKE_EXAMPLES = [
         "region_outage.py",
         {"EXECUTORS_PER_REGION": 4, "NUM_JOBS": 6, "SEED": 0},
     ),
+    (
+        "streaming_service.py",
+        {"NUM_EXECUTORS": 4, "NUM_JOBS": 8, "MEAN_INTERARRIVAL_S": 10.0},
+    ),
 ]
 
 

@@ -1,0 +1,220 @@
+"""Streaming-vs-materialized equivalence: the determinism contract.
+
+The streaming subsystem's core promise is that running a batch-sized trial
+through the :class:`~repro.simulator.streaming.StreamingAggregator` —
+whether by replaying a finished materialized result or by live-feeding the
+engine from an :class:`~repro.workloads.stream.ArrivalStream` — produces
+summary metrics *bit-identical* to the materialized
+:class:`~repro.simulator.trace.ScheduleTrace` path. Pinned here over the
+seven fingerprint scenarios (every scheduler family), plus hypothesis
+property tests of the mechanism itself: exactly-rounded summation is
+append-order independent, and window boundaries never change the global
+totals.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.store import result_metrics
+from repro.experiments.runner import run_experiment
+from repro.simulator.streaming import (
+    SUMMARY_KEYS,
+    ExactSum,
+    StreamingAggregator,
+    Welford,
+    metrics_fingerprint,
+    replay_result,
+)
+from repro.simulator.trace import TaskRecord
+from repro.stream import ServiceConfig, run_service
+from repro.workloads.stream import StreamSpec
+
+from conftest import make_trace
+from test_fingerprints import PINNED_SCENARIOS, SCENARIO_IDS
+
+
+def materialized_metrics(config) -> dict:
+    return result_metrics(run_experiment(config))
+
+
+def stream_config_for(config) -> ServiceConfig:
+    """The service-mode run equivalent to a pinned batch scenario."""
+    workload = config.workload
+    return ServiceConfig(
+        experiment=config,
+        stream=StreamSpec(
+            family=workload.family,
+            mean_interarrival=workload.mean_interarrival,
+            tpch_scales=workload.tpch_scales,
+            seed=config.seed,
+            max_jobs=workload.num_jobs,
+        ),
+        epoch_events=64,  # several epochs even on tiny scenarios
+    )
+
+
+def assert_bit_identical(streaming: dict, materialized: dict) -> None:
+    for key in SUMMARY_KEYS:
+        assert repr(streaming[key]) == repr(materialized[key]), (
+            f"{key}: streaming {streaming[key]!r} "
+            f"!= materialized {materialized[key]!r}"
+        )
+    assert metrics_fingerprint(streaming) == metrics_fingerprint(materialized)
+
+
+class TestReplayEquivalence:
+    """Replaying a finished materialized result through the aggregator."""
+
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_replay_matches_materialized_bit_for_bit(self, config):
+        result = run_experiment(config)
+        aggregator = replay_result(result)
+        assert_bit_identical(
+            aggregator.summary_metrics(), result_metrics(result)
+        )
+
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_replay_window_width_does_not_change_summary(self, config):
+        result = run_experiment(config)
+        narrow = replay_result(result, window_s=50.0).summary_metrics()
+        wide = replay_result(result, window_s=1e6).summary_metrics()
+        assert {k: repr(v) for k, v in narrow.items()} == {
+            k: repr(v) for k, v in wide.items()
+        }
+
+
+class TestLiveStreamEquivalence:
+    """Live incremental feed: ArrivalStream + retirement + aggregator."""
+
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_service_run_matches_materialized_bit_for_bit(self, config):
+        report = run_service(stream_config_for(config))
+        assert report.drained
+        assert report.jobs_completed == config.workload.num_jobs
+        assert_bit_identical(report.summary, materialized_metrics(config))
+
+    def test_gc_policy_never_changes_metrics(self):
+        import dataclasses
+
+        config = stream_config_for(PINNED_SCENARIOS[0])
+        keep = dataclasses.replace(
+            config,
+            stream=dataclasses.replace(config.stream, gc_policy="keep"),
+        )
+        assert (
+            run_service(config).fingerprint
+            == run_service(keep).fingerprint
+        )
+
+
+# ----------------------------------------------------------------------
+# Property tests of the mechanism
+# ----------------------------------------------------------------------
+reasonable_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestExactSumProperties:
+    @given(st.lists(reasonable_floats, max_size=50), st.randoms())
+    def test_order_independent_and_equal_to_fsum(self, values, rnd):
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        assert ExactSum(values).value == ExactSum(shuffled).value
+        assert ExactSum(values).value == math.fsum(values)
+
+    @given(st.lists(reasonable_floats, max_size=30))
+    def test_pickle_preserves_exact_state(self, values):
+        import pickle
+
+        acc = ExactSum(values)
+        clone = pickle.loads(pickle.dumps(acc))
+        clone.add(0.1)
+        acc.add(0.1)
+        assert clone.value == acc.value
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=40))
+    def test_welford_matches_batch_moments(self, values):
+        w = Welford()
+        for v in values:
+            w.add(v)
+        mean = math.fsum(values) / len(values)
+        assert w.count == len(values)
+        assert w.mean == pytest.approx(mean, rel=1e-9, abs=1e-9)
+        var = math.fsum((v - mean) ** 2 for v in values) / len(values)
+        assert w.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+#: Random complete task records: (start, duration) pairs.
+task_spans = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5000.0),
+        st.floats(min_value=0.1, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def fresh_aggregator(window_s: float = 600.0) -> StreamingAggregator:
+    return StreamingAggregator(
+        total_executors=4,
+        carbon=make_trace([100.0, 250.0, 50.0, 400.0] * 40),
+        window_s=window_s,
+    )
+
+
+def fold_spans(aggregator, spans, order=None) -> StreamingAggregator:
+    indexed = list(enumerate(spans))
+    if order is not None:
+        order.shuffle(indexed)
+    for i, (start, duration) in indexed:
+        record = TaskRecord(
+            job_id=i, stage_id=0, task_index=0, executor_id=i % 4,
+            start=start, work_start=start, end=start + duration,
+        )
+        aggregator.task_done(aggregator.add_task(record))
+        aggregator.observe_arrival(i, start)
+        aggregator.observe_finish(i, start, start + duration)
+    return aggregator
+
+
+class TestAggregatorProperties:
+    @given(task_spans, st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_append_order_never_changes_summary(self, spans, rnd):
+        in_order = fold_spans(fresh_aggregator(), spans).summary_metrics()
+        shuffled = fold_spans(
+            fresh_aggregator(), spans, order=rnd
+        ).summary_metrics()
+        assert metrics_fingerprint(in_order) == metrics_fingerprint(shuffled)
+
+    @given(task_spans, st.floats(min_value=1.0, max_value=10_000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_window_width_never_changes_summary(self, spans, window_s):
+        base = fold_spans(fresh_aggregator(), spans).summary_metrics()
+        other = fold_spans(
+            fresh_aggregator(window_s=window_s), spans
+        ).summary_metrics()
+        assert metrics_fingerprint(base) == metrics_fingerprint(other)
+
+    @given(task_spans)
+    @settings(max_examples=30, deadline=None)
+    def test_window_totals_sum_to_global_totals(self, spans):
+        # Random spans are not near-monotone in time, so give the
+        # aggregator enough open windows that nothing folds late (a late
+        # fold counts globally but is absorbed outside the ring).
+        aggregator = fresh_aggregator(window_s=250.0)
+        aggregator.open_windows = 64
+        aggregator = fold_spans(aggregator, spans)
+        assert aggregator.late_folds == 0
+        aggregator.flush_windows()
+        windows = aggregator.recent_windows()
+        assert math.fsum(
+            w["busy_s"] for w in windows
+        ) == pytest.approx(aggregator.summary_metrics()["total_busy_time"])
+        assert sum(w["jobs_completed"] for w in windows) == len(spans)
+        assert sum(w["tasks_completed"] for w in windows) == len(spans)
