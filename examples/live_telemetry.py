@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Live telemetry walkthrough: scrape a running service, watch an SLO.
+
+The streaming service from ``examples/streaming_service.py`` gains the
+PR-9 live surface:
+
+1. an :class:`~repro.obs.export.HttpExporter` serves Prometheus-style
+   text exposition on an ephemeral port while the run is in flight — the
+   walkthrough scrapes it from inside the epoch callback, exactly like an
+   external Prometheus would mid-run, and validates the payload parses;
+2. a :class:`~repro.obs.export.JsonlExporter` appends one registry sample
+   per epoch, the file-shaped twin of the scrape endpoint;
+3. an SLO rule (``avg_jct`` over recent windows) is evaluated at every
+   epoch boundary, and any firing/resolved transitions print at the end.
+
+CI's ``obs-live`` job runs this file as its scrape check: every assert
+here is a gate, so a malformed exposition document fails the build.
+
+Run:  python examples/live_telemetry.py
+"""
+
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentConfig
+from repro.obs.export import (
+    HttpExporter,
+    JsonlExporter,
+    parse_exposition,
+    read_samples,
+)
+from repro.obs.slo import SloRule
+from repro.stream import ServiceConfig, ServiceRunner, format_stream_report
+from repro.workloads.stream import StreamSpec
+
+NUM_EXECUTORS = 8
+NUM_JOBS = 120
+MEAN_INTERARRIVAL_S = 15.0
+SEED = 0
+#: Fires when the job-weighted average JCT over the last two windows
+#: exceeds this many simulated seconds (tight on purpose, to show alerts).
+SLO_AVG_JCT_S = 60.0
+
+#: Series the scrape must contain for the exposition to count as live.
+REQUIRED_SERIES = (
+    "repro_stream_jobs_arrived",
+    "repro_stream_jobs_completed",
+    "repro_stream_jobs_active",
+    "repro_export_epoch",
+    "repro_export_sim_time_seconds",
+)
+
+
+def service_config() -> ServiceConfig:
+    return ServiceConfig(
+        experiment=ExperimentConfig(
+            scheduler="fifo", num_executors=NUM_EXECUTORS, seed=SEED
+        ),
+        stream=StreamSpec(
+            family="tpch",
+            mean_interarrival=MEAN_INTERARRIVAL_S,
+            tpch_scales=(2,),
+            seed=SEED,
+            max_jobs=NUM_JOBS,
+        ),
+        window_s=1800.0,
+        epoch_events=256,
+    )
+
+
+def main() -> None:
+    samples_path = Path(tempfile.mkdtemp()) / "samples.jsonl"
+    endpoint = HttpExporter(port=0)
+    jsonl = JsonlExporter(samples_path)
+    scrapes: list[dict[str, float]] = []
+
+    def scrape(runner: ServiceRunner) -> None:
+        # What an external Prometheus would do mid-run; parse_exposition
+        # raises on any malformed line, so this doubles as a format check.
+        with urllib.request.urlopen(endpoint.url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+        scrapes.append(parse_exposition(body))
+
+    runner = ServiceRunner(
+        service_config(),
+        on_epoch=scrape,
+        exporters=[jsonl, endpoint],
+        slo_rules=[
+            SloRule(
+                name="jct-slo",
+                metric="avg_jct",
+                threshold=SLO_AVG_JCT_S,
+                direction="above",
+                window=2,
+            )
+        ],
+    )
+    print(f"serving exposition at {endpoint.url}")
+    try:
+        report = runner.run()
+    finally:
+        runner.close_exporters()
+
+    # Every epoch was scraped while the service was live, and the final
+    # scrape carries the registry's stream gauges.
+    assert len(scrapes) == report.epochs, (len(scrapes), report.epochs)
+    last = scrapes[-1]
+    for series in REQUIRED_SERIES:
+        assert series in last, f"scrape missing {series}"
+    assert last["repro_stream_jobs_arrived"] == report.jobs_arrived
+    print(
+        f"scraped {len(scrapes)} times; final scrape holds "
+        f"{len(last)} series"
+    )
+
+    # The JSONL series is the same samples, torn-tail-safe on disk.
+    samples = read_samples(samples_path)
+    assert len(samples) == report.epochs, (len(samples), report.epochs)
+    print(f"JSONL time series: {len(samples)} samples at {samples_path}")
+
+    for alert in runner.slo.alerts:
+        print(
+            f"SLO {alert.state}: {alert.rule} value={alert.value:.1f}s "
+            f"threshold={alert.threshold:.0f}s (epoch {alert.epoch})"
+        )
+    if not runner.slo.alerts:
+        print("SLO never fired")
+
+    print()
+    print(format_stream_report(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -272,10 +272,16 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.cmd == "resume" and not ResultStore(args.store).path.exists():
         _error(f"nothing to resume: store {args.store!r} does not exist")
         return 2
+    exporter = None
+    if getattr(args, "export_jsonl", None):
+        from repro.obs.export import JsonlExporter
+
+        exporter = JsonlExporter(args.export_jsonl)
     runner = CampaignRunner(
         ResultStore(args.store),
         workers=args.workers,
         supervisor=_supervisor_from_args(args),
+        exporter=exporter,
     )
     print(
         f"campaign {spec.name!r}: {len(runner.keyed_trials(spec))} trials "
@@ -731,6 +737,8 @@ def _cmd_disrupt(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.obs.export import HttpExporter, JsonlExporter
+    from repro.obs.slo import ALERTS_FILENAME, SloRule
     from repro.stream import (
         ServiceConfig,
         ServiceRunner,
@@ -741,6 +749,13 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
     if args.jobs is None and args.horizon is None:
         _error("bound the run with --jobs and/or --horizon")
         return 2
+    slo_rules = []
+    for text in args.slo or []:
+        try:
+            slo_rules.append(SloRule.parse(text))
+        except ValueError as exc:
+            _error(str(exc))
+            return 2
     experiment = ExperimentConfig(
         scheduler=args.scheduler,
         grid=args.grid,
@@ -778,9 +793,41 @@ def _cmd_stream_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    runner = ServiceRunner(config, on_epoch=progress)
-    report = runner.run(max_epochs=args.max_epochs)
+    exporters = []
+    if args.export_jsonl:
+        exporters.append(JsonlExporter(args.export_jsonl))
+    if args.export_port is not None:
+        endpoint = HttpExporter(port=args.export_port)
+        exporters.append(endpoint)
+        print(f"exposition endpoint: {endpoint.url}", file=sys.stderr)
+
+    runner = ServiceRunner(
+        config,
+        on_epoch=progress,
+        exporters=exporters,
+        slo_rules=slo_rules,
+        slo_action=args.slo_action,
+    )
+    try:
+        report = runner.run(max_epochs=args.max_epochs)
+    finally:
+        runner.close_exporters()
     print(format_stream_report(report))
+    if runner.slo is not None:
+        alerts_path = args.alerts_output or os.path.join(
+            args.obs_dir, ALERTS_FILENAME
+        )
+        runner.slo.write_alerts(
+            alerts_path,
+            meta={"label": "stream run", "scheduler": args.scheduler},
+        )
+        print(
+            f"slo: {len(runner.slo.alerts)} alert transition(s), "
+            f"wrote {alerts_path}",
+            file=sys.stderr,
+        )
+    if args.export_jsonl:
+        print(f"export: wrote {args.export_jsonl}", file=sys.stderr)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
@@ -863,19 +910,49 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
 
     metrics = args.metrics
+    if os.path.isdir(metrics):
+        # Directory given: resolve the conventional snapshot inside it.
+        metrics = os.path.join(metrics, METRICS_FILENAME)
     if not os.path.exists(metrics):
         _error(
             f"no metrics snapshot at {metrics!r}; run a command with --obs "
             f"first (writes <obs-dir>/{METRICS_FILENAME})"
         )
         return 2
-    print(render_report(metrics))
+    try:
+        rendered = render_report(metrics)
+    except (OSError, ValueError, KeyError) as exc:
+        _error(f"unreadable metrics snapshot {metrics!r}: {exc}")
+        return 2
+    print(rendered)
     return 0
 
 
 def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
     from repro.obs.dashboard import build_dashboard
 
+    # Inputs the user *named* must exist — a typo'd path silently rendering
+    # an empty panel is worse than an error. Discovered defaults (no flag
+    # given) stay tolerant: absence just means nothing to show yet.
+    for directory in args.obs_dir or []:
+        if not os.path.exists(os.path.join(directory, METRICS_FILENAME)):
+            _error(
+                f"obs dir {directory!r} has no {METRICS_FILENAME}; run a "
+                "command with --obs first"
+            )
+            return 2
+    if args.history_dir is not None:
+        if not os.path.isdir(args.history_dir):
+            _error(f"history dir {args.history_dir!r} does not exist")
+            return 2
+        if not any(
+            entry.is_dir() for entry in os.scandir(args.history_dir)
+        ):
+            _error(
+                f"history dir {args.history_dir!r} is empty — expected one "
+                "subdirectory per recorded run, each holding BENCH_*.json"
+            )
+            return 2
     path = build_dashboard(
         output=args.output,
         bench_paths=args.bench,
@@ -887,10 +964,33 @@ def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_regress(args: argparse.Namespace) -> int:
+    from repro.obs.regress import check_history, format_regression_report
+
+    if not os.path.isdir(args.history_dir):
+        _error(
+            f"history dir {args.history_dir!r} does not exist; point "
+            "--history-dir at the per-run snapshot directory CI accumulates"
+        )
+        return 2
+    report = check_history(
+        args.history_dir,
+        window=args.window,
+        tolerance=args.tolerance,
+        min_points=args.min_points,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_regression_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     handlers = {
         "report": _cmd_obs_report,
         "dashboard": _cmd_obs_dashboard,
+        "regress": _cmd_obs_regress,
     }
     return handlers[args.cmd](args)
 
@@ -1049,6 +1149,11 @@ def build_parser() -> argparse.ArgumentParser:
             c.add_argument(
                 "--checkpoint-every", type=int, default=200, metavar="EVENTS",
                 help="engine events between checkpoints (default: 200)",
+            )
+            c.add_argument(
+                "--export-jsonl", default=None, metavar="PATH",
+                help="append one metrics sample per completed trial to "
+                "PATH (live campaign progress as a JSONL time series)",
             )
             _add_obs_args(c)
 
@@ -1281,7 +1386,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="also write the report JSON here (for 'stream report')",
     )
+    s.add_argument(
+        "--export-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus-style text exposition on 127.0.0.1:PORT "
+        "while running (0 = pick an ephemeral port; the address is "
+        "printed to stderr)",
+    )
+    s.add_argument(
+        "--export-jsonl", default=None, metavar="PATH",
+        help="append one registry sample per epoch to PATH "
+        "(JSONL time series, torn-tail safe)",
+    )
+    s.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help="SLO rule evaluated each epoch, e.g. 'avg_jct>120@3' or "
+        "'gauge:stream.jobs_active>500'; repeatable "
+        "(see docs/observability.md)",
+    )
+    s.add_argument(
+        "--slo-action", default="none", choices=("none", "pause-admission"),
+        help="degradation action while any SLO alert fires "
+        "(pause-admission sheds load; breaks exact replayability)",
+    )
+    s.add_argument(
+        "--alerts-output", default=None, metavar="PATH",
+        help="write the SLO alert log here (default: <obs-dir>/alerts.jsonl)",
+    )
     s.add_argument("--quiet", action="store_true")
+    _add_obs_args(s)
     s.set_defaults(func=_cmd_stream)
 
     s = stream_sub.add_parser(
@@ -1350,6 +1482,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--history-dir", default=None,
         help="directory of per-run snapshot subdirectories (each holding "
         "BENCH_*.json) to render as headline-metric trends",
+    )
+    o.set_defaults(func=_cmd_obs)
+
+    o = obs_sub.add_parser(
+        "regress",
+        help="gate on benchmark regressions: newest history snapshot vs "
+        "a trailing baseline",
+    )
+    o.add_argument(
+        "--history-dir", required=True,
+        help="per-run snapshot directory (same layout the dashboard "
+        "trend section reads)",
+    )
+    o.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="trailing snapshots averaged into the baseline (default: 5)",
+    )
+    o.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRAC",
+        help="relative change tolerated before a metric counts as "
+        "regressed (default: 0.10)",
+    )
+    o.add_argument(
+        "--min-points", type=int, default=3, metavar="N",
+        help="history points a metric needs before a regression blocks "
+        "(below this the check is advisory; default: 3)",
+    )
+    o.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
     )
     o.set_defaults(func=_cmd_obs)
 

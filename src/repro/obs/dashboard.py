@@ -23,6 +23,7 @@ from __future__ import annotations
 import glob
 import html
 import json
+import logging
 import os
 import time
 from pathlib import Path
@@ -31,7 +32,10 @@ from typing import Any, Sequence
 from repro.obs.metrics import read_jsonl
 from repro.obs.observer import DEFAULT_OBS_DIR, METRICS_FILENAME
 from repro.obs.report import derived_rates
+from repro.obs.slo import ALERTS_FILENAME, read_alerts
 from repro.ioutil import atomic_write_text
+
+logger = logging.getLogger("repro.obs.dashboard")
 
 #: Bar fill colors, cycled per chart (muted, print-friendly).
 _PALETTE = ("#4878a8", "#6aa84f", "#b46504", "#8e63a8", "#ad3c3c")
@@ -266,34 +270,54 @@ def headline_metrics(doc: dict) -> dict[str, float]:
 
 def history_series(
     directory: str,
-) -> tuple[list[str], dict[str, list[tuple[str, float]]]]:
+) -> tuple[
+    list[str], dict[str, list[tuple[str, float]]], list[tuple[str, str]]
+]:
     """Collect per-snapshot headline metrics from a history directory.
 
     Layout: one subdirectory per recorded run, each holding that run's
     ``BENCH_*.json`` files. Subdirectories are taken in sorted-name order,
     so snapshot names must sort chronologically (CI uses the zero-padded
     run number — see ``.github/workflows/ci.yml``). Returns the snapshot
-    names plus ``{metric: [(snapshot, value), ...]}``.
+    names, ``{metric: [(snapshot, value), ...]}``, and the malformed
+    bench files skipped as ``(path, reason)`` pairs — each also logged as
+    a warning, since a silently-dropped snapshot would fake a gap in the
+    trend. Gaps themselves (a snapshot missing some ``BENCH_*.json``) are
+    fine: the metric's series simply skips that snapshot.
     """
     root = Path(directory)
     snapshots: list[str] = []
     series: dict[str, list[tuple[str, float]]] = {}
+    skipped: list[tuple[str, str]] = []
     if not root.is_dir():
-        return snapshots, series
+        return snapshots, series, skipped
     for snap_dir in sorted(p for p in root.iterdir() if p.is_dir()):
         snapshots.append(snap_dir.name)
         for bench in sorted(snap_dir.glob("BENCH_*.json")):
             try:
                 doc = json.loads(bench.read_text())
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                skipped.append((str(bench), reason))
+                logger.warning(
+                    "skipping malformed bench snapshot %s (%s)",
+                    bench, reason,
+                )
+                continue
+            if not isinstance(doc, dict):
+                skipped.append((str(bench), "not a JSON object"))
+                logger.warning(
+                    "skipping malformed bench snapshot %s (not a JSON "
+                    "object)", bench,
+                )
                 continue
             for metric, value in headline_metrics(doc).items():
                 series.setdefault(metric, []).append((snap_dir.name, value))
-    return snapshots, series
+    return snapshots, series, skipped
 
 
 def _history_section(directory: str) -> str:
-    snapshots, series = history_series(directory)
+    snapshots, series, skipped = history_series(directory)
     out = [f"<h2>bench history: {_esc(directory)}</h2>"]
     if not snapshots:
         out.append(
@@ -319,6 +343,12 @@ def _history_section(directory: str) -> str:
                 points, metric, fmt=fmt,
                 color=_PALETTE[i % len(_PALETTE)],
             )
+        )
+    if skipped:
+        out.append(
+            '<p class="empty">skipped malformed snapshot files: '
+            + ", ".join(_esc(path) for path, _reason in skipped)
+            + "</p>"
         )
     return "".join(out)
 
@@ -363,12 +393,16 @@ def _obs_section(directory: str) -> str:
     if histograms:
         out.append(
             _table(
-                ("histogram", "count", "mean", "p50", "p95", "p99", "max"),
+                (
+                    "histogram", "count", "mean", "min", "p50", "p95",
+                    "p99", "max",
+                ),
                 [
                     (
                         r["name"],
                         r["count"],
                         f"{r['mean']:.3g}",
+                        f"{r.get('min', 0.0):.3g}",
                         f"{r['p50']:.3g}",
                         f"{r['p95']:.3g}",
                         f"{r['p99']:.3g}",
@@ -378,6 +412,48 @@ def _obs_section(directory: str) -> str:
                 ],
             )
         )
+    out.append(_alerts_panel(directory))
+    return "".join(out)
+
+
+def _alerts_panel(directory: str) -> str:
+    """SLO alert transitions for one obs dir (empty string when absent)."""
+    alerts_path = os.path.join(directory, ALERTS_FILENAME)
+    if not os.path.exists(alerts_path):
+        return ""
+    try:
+        meta, rows = read_alerts(alerts_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return f'<p class="empty">unreadable {ALERTS_FILENAME}: {_esc(exc)}</p>'
+    firing = meta.get("firing", [])
+    out = [
+        "<h3>SLO alerts</h3>",
+        '<p class="meta">'
+        + f"{len(meta.get('rules', []))} rules, "
+        + f"{meta.get('evaluations', 0)} evaluations, firing at exit: "
+        + (_esc(", ".join(firing)) if firing else "none")
+        + "</p>",
+    ]
+    if not rows:
+        out.append('<p class="empty">(no alert transitions)</p>')
+        return "".join(out)
+    out.append(
+        _table(
+            ("epoch", "sim time (s)", "rule", "state", "value", "threshold"),
+            [
+                (
+                    r["epoch"],
+                    f"{r['sim_time']:,.0f}",
+                    r["rule"],
+                    r["state"],
+                    f"{r['value']:.3f}",
+                    ("> " if r["direction"] == "above" else "< ")
+                    + f"{r['threshold']:g}",
+                )
+                for r in rows
+            ],
+        )
+    )
     return "".join(out)
 
 

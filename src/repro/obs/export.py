@@ -1,0 +1,303 @@
+"""Live metrics export: JSONL time-series and Prometheus-style exposition.
+
+PR 6's ``repro.obs`` snapshots only at exit; this module is the live half.
+A :class:`MetricsExporter` receives one *sample* per service epoch —
+``(epoch, sim_time, registry)`` — and publishes it somewhere an operator
+can watch while the run is still going:
+
+- :class:`JsonlExporter` appends each sample as one JSON line (torn-tail
+  safe via :func:`repro.ioutil.append_line`), producing a time series next
+  to the run's other artifacts;
+- :class:`HttpExporter` serves the latest sample as Prometheus text
+  exposition (format 0.0.4) from a stdlib :mod:`http.server` on a
+  background thread, so ``repro stream run --export-port N`` can be
+  scraped mid-run.
+
+Determinism contract: samples are keyed by the run's **simulated** clock
+(epoch index + sim time). Wall clock appears only as a label
+(``wall=...``), never as a key, so two replays of the same seed export the
+same sample sequence and exporting never perturbs the schedule — the
+fingerprint-neutrality suite replays the pinned scenarios with export
+enabled and asserts byte-identity.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+from repro.ioutil import append_line
+from repro.obs.metrics import MetricsRegistry, _utc_now
+
+logger = logging.getLogger("repro.obs.export")
+
+#: Content type of the exposition endpoint (Prometheus text format 0.0.4).
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every exported series name starts with this, namespacing the repo's
+#: metrics inside whatever Prometheus the endpoint is scraped into.
+EXPOSITION_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+@runtime_checkable
+class MetricsExporter(Protocol):
+    """One live-export backend.
+
+    ``export`` is called once per service epoch with the epoch index, the
+    current simulated time, and the live registry; ``close`` releases any
+    resources (threads, sockets, file handles). Exporters must only *read*
+    the registry — feeding a measurement back into scheduling would break
+    the determinism contract.
+    """
+
+    def export(
+        self, epoch: int, sim_time: float, registry: MetricsRegistry
+    ) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Registry name -> Prometheus series name (``engine.cache.hits`` ->
+    ``repro_engine_cache_hits``)."""
+    return EXPOSITION_PREFIX + _INVALID_CHARS.sub("_", name)
+
+
+def _fmt(value: float | int) -> str:
+    """A number as Prometheus renders it (repr keeps float exactness)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_exposition(
+    registry: MetricsRegistry,
+    epoch: int | None = None,
+    sim_time: float | None = None,
+    wall: str | None = None,
+) -> str:
+    """The registry as Prometheus text exposition (format 0.0.4).
+
+    Counters become ``<name>_total`` counter series, gauges map 1:1, and
+    histograms emit the conventional cumulative ``_bucket{le=...}`` ladder
+    (exact 1-2-5 bounds plus ``+Inf``) with exact ``_sum`` / ``_count``.
+    The sample key — epoch index and simulated seconds — exports as two
+    gauges; wall clock is a label on ``repro_export_info`` only.
+    """
+    lines: list[str] = []
+    instruments = sorted(registry, key=lambda i: i.name)
+    for instrument in instruments:
+        name = sanitize_metric_name(instrument.name)
+        kind = instrument.snapshot()["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {name}_total counter")
+            lines.append(f"{name}_total {_fmt(instrument.value)}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(instrument.value)}")
+        else:  # histogram
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in instrument.buckets():
+                if bound is None:
+                    continue  # overflow: covered by the +Inf line below
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{name}_sum {_fmt(instrument.total)}")
+            lines.append(f"{name}_count {instrument.count}")
+    if epoch is not None:
+        lines.append(f"# TYPE {EXPOSITION_PREFIX}export_epoch gauge")
+        lines.append(f"{EXPOSITION_PREFIX}export_epoch {_fmt(int(epoch))}")
+    if sim_time is not None:
+        lines.append(
+            f"# TYPE {EXPOSITION_PREFIX}export_sim_time_seconds gauge"
+        )
+        lines.append(
+            f"{EXPOSITION_PREFIX}export_sim_time_seconds "
+            f"{_fmt(float(sim_time))}"
+        )
+    # Wall clock is a label, never a key: replays differ here and only here.
+    lines.append(f"# TYPE {EXPOSITION_PREFIX}export_info gauge")
+    lines.append(
+        f'{EXPOSITION_PREFIX}export_info{{wall="{wall or _utc_now()}"}} 1'
+    )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{series[labels]: value}``.
+
+    Strict on purpose — the CI scrape check and the tests use this to
+    assert the endpoint serves *well-formed* output, so any line that is
+    neither a comment nor a valid sample raises ``ValueError``.
+    """
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = float(value)
+    return samples
+
+
+class JsonlExporter:
+    """Append one registry sample per epoch to a JSONL time series.
+
+    Each line is ``{"type": "sample", "epoch": ..., "sim_time": ...,
+    "wall": ..., "metrics": [...]}`` with the full registry snapshot.
+    Appends are single-write + flush + fsync (:func:`repro.ioutil.
+    append_line`), so a killed run leaves at most one torn final line,
+    which :func:`read_samples` skips.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.samples_written = 0
+
+    def export(
+        self, epoch: int, sim_time: float, registry: MetricsRegistry
+    ) -> None:
+        row = {
+            "type": "sample",
+            "epoch": epoch,
+            "sim_time": sim_time,
+            "wall": _utc_now(),  # label only; epoch/sim_time are the key
+            "metrics": registry.snapshot(),
+        }
+        append_line(self.path, json.dumps(row, sort_keys=True))
+        self.samples_written += 1
+
+    def close(self) -> None:
+        """Nothing held open between appends."""
+
+
+def read_samples(path: str | Path) -> list[dict[str, Any]]:
+    """Load a :class:`JsonlExporter` series, skipping torn/corrupt lines."""
+    samples: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return samples
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail from a killed run
+        if isinstance(row, dict) and row.get("type") == "sample":
+            samples.append(row)
+    return samples
+
+
+class _ExpositionHandler(BaseHTTPRequestHandler):
+    """GET /metrics -> the owning exporter's latest sample."""
+
+    exporter: "HttpExporter"  # set by the server factory
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "try /metrics")
+            return
+        body = self.exporter.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", EXPOSITION_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("exposition: " + format, *args)
+
+
+class HttpExporter:
+    """Prometheus-style scrape endpoint on a background thread.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port` /
+    :attr:`url`). The handler renders whatever sample :meth:`export` last
+    published — scrapes between epochs see a consistent sample, scrapes
+    mid-epoch see the previous one plus any counters already advanced,
+    which is fine: exposition is a monitoring view, not a determinism
+    surface.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        self._lock = threading.Lock()
+        self._registry: MetricsRegistry | None = None
+        self._epoch: int | None = None
+        self._sim_time: float | None = None
+        handler = type(
+            "_BoundExpositionHandler", (_ExpositionHandler,),
+            {"exporter": self},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-exposition",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def render(self) -> str:
+        """The current exposition document (empty-registry safe)."""
+        with self._lock:
+            registry = self._registry or MetricsRegistry()
+            return render_exposition(
+                registry, epoch=self._epoch, sim_time=self._sim_time
+            )
+
+    def export(
+        self, epoch: int, sim_time: float, registry: MetricsRegistry
+    ) -> None:
+        with self._lock:
+            self._registry = registry
+            self._epoch = epoch
+            self._sim_time = sim_time
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "EXPOSITION_PREFIX",
+    "HttpExporter",
+    "JsonlExporter",
+    "MetricsExporter",
+    "parse_exposition",
+    "read_samples",
+    "render_exposition",
+    "sanitize_metric_name",
+]

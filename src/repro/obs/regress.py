@@ -1,0 +1,242 @@
+"""Benchmark regression gating over a ``--history-dir`` (``repro obs regress``).
+
+The dashboard's trend section already plots per-commit headline metrics
+from ``BENCH_*.json`` snapshots; this module turns that trajectory into a
+CI gate. For every trended metric, the newest snapshot is compared against
+the mean of a trailing baseline window, with a per-metric noise tolerance:
+
+- throughput-style metrics (``engine events/s (mean)``, ``campaign
+  trials/min``, ``stream jobs/s``) regress when the newest value falls
+  more than ``tolerance`` *below* the baseline;
+- cost-style metrics (``stream peak-RSS ratio``) regress when the newest
+  value rises more than ``tolerance`` *above* it.
+
+A metric with fewer than ``min_points`` history points is reported but
+never blocks — young repos and freshly-recorded baselines pass vacuously,
+which is what lets CI wire the gate in before three runs have accumulated.
+After an *intentional* perf change, re-record the baseline by letting new
+snapshots accumulate (the trailing window slides past the old level) or by
+pruning pre-change snapshot directories; see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs.dashboard import history_series
+
+#: Trended metrics where bigger numbers are better. Anything not listed
+#: here is treated as a cost (smaller is better) — the conservative
+#: default for ratios and latencies.
+HIGHER_IS_BETTER = frozenset(
+    {
+        "engine events/s (mean)",
+        "campaign trials/min",
+        "stream jobs/s",
+    }
+)
+
+#: Relative change tolerated before a metric counts as regressed.
+DEFAULT_TOLERANCE = 0.10
+#: Trailing snapshots averaged into the baseline.
+DEFAULT_WINDOW = 5
+#: History points a metric needs before a regression blocks (CI gate
+#: stays advisory below this).
+DEFAULT_MIN_POINTS = 3
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One metric's newest-vs-baseline comparison."""
+
+    metric: str
+    snapshot: str  # snapshot the newest value came from
+    newest: float
+    baseline: float  # mean of the trailing window
+    baseline_points: int  # points folded into the baseline
+    total_points: int  # all history points for this metric
+    change: float  # (newest - baseline) / baseline, signed
+    tolerance: float
+    higher_is_better: bool
+    regressed: bool  # outside tolerance in the bad direction
+    enforced: bool  # enough history for this to block
+
+    @property
+    def blocking(self) -> bool:
+        return self.regressed and self.enforced
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "snapshot": self.snapshot,
+            "newest": self.newest,
+            "baseline": self.baseline,
+            "baseline_points": self.baseline_points,
+            "total_points": self.total_points,
+            "change": self.change,
+            "tolerance": self.tolerance,
+            "higher_is_better": self.higher_is_better,
+            "regressed": self.regressed,
+            "enforced": self.enforced,
+            "blocking": self.blocking,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Everything ``repro obs regress`` decides about one history dir."""
+
+    history_dir: str
+    snapshots: list[str]
+    findings: list[RegressionFinding]
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def blocking(self) -> list[RegressionFinding]:
+        return [f for f in self.findings if f.blocking]
+
+    @property
+    def advisory(self) -> list[RegressionFinding]:
+        """Regressions observed without enough history to enforce."""
+        return [f for f in self.findings if f.regressed and not f.enforced]
+
+    @property
+    def ok(self) -> bool:
+        return not self.blocking
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "history_dir": self.history_dir,
+            "snapshots": self.snapshots,
+            "findings": [f.to_dict() for f in self.findings],
+            "skipped": [list(pair) for pair in self.skipped],
+            "ok": self.ok,
+        }
+
+
+def compare_series(
+    metric: str,
+    points: list[tuple[str, float]],
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_points: int = DEFAULT_MIN_POINTS,
+) -> RegressionFinding | None:
+    """Newest point vs the mean of up to ``window`` trailing points.
+
+    Returns ``None`` when there is nothing to compare against (fewer than
+    two points, or a zero baseline that makes relative change undefined).
+    """
+    if len(points) < 2:
+        return None
+    snapshot, newest = points[-1]
+    trailing = [value for _, value in points[-(window + 1) : -1]]
+    baseline = sum(trailing) / len(trailing)
+    if baseline == 0:
+        return None
+    change = (newest - baseline) / abs(baseline)
+    higher_is_better = metric in HIGHER_IS_BETTER
+    regressed = (
+        change < -tolerance if higher_is_better else change > tolerance
+    )
+    return RegressionFinding(
+        metric=metric,
+        snapshot=snapshot,
+        newest=newest,
+        baseline=baseline,
+        baseline_points=len(trailing),
+        total_points=len(points),
+        change=change,
+        tolerance=tolerance,
+        higher_is_better=higher_is_better,
+        regressed=regressed,
+        enforced=len(points) >= min_points,
+    )
+
+
+def check_history(
+    directory: str,
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_points: int = DEFAULT_MIN_POINTS,
+    tolerances: Mapping[str, float] | None = None,
+) -> RegressionReport:
+    """Run the regression check over one history directory.
+
+    ``tolerances`` overrides the global ``tolerance`` per metric name —
+    noisier benches (RSS, wall-clock-sensitive rates) usually want a wider
+    band than deterministic event counts.
+    """
+    snapshots, series, skipped = history_series(directory)
+    findings: list[RegressionFinding] = []
+    for metric in sorted(series):
+        finding = compare_series(
+            metric,
+            series[metric],
+            window=window,
+            tolerance=(tolerances or {}).get(metric, tolerance),
+            min_points=min_points,
+        )
+        if finding is not None:
+            findings.append(finding)
+    return RegressionReport(
+        history_dir=str(directory),
+        snapshots=snapshots,
+        findings=findings,
+        skipped=skipped,
+    )
+
+
+def format_regression_report(report: RegressionReport) -> str:
+    """Human-readable gate output for ``repro obs regress``."""
+    lines = [
+        f"bench regression check: {report.history_dir} "
+        f"({len(report.snapshots)} snapshots)"
+    ]
+    if not report.findings:
+        lines.append(
+            "  nothing to compare — need at least two snapshots with "
+            "recognizable BENCH_*.json reports"
+        )
+    for finding in report.findings:
+        arrow = "↑" if finding.change >= 0 else "↓"
+        want = "higher" if finding.higher_is_better else "lower"
+        if finding.blocking:
+            verdict = "REGRESSED"
+        elif finding.regressed:
+            verdict = (
+                f"regressed (advisory: {finding.total_points} points of "
+                "history, not yet enforced)"
+            )
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {finding.metric:<28} {finding.newest:>12,.3f} vs baseline "
+            f"{finding.baseline:>12,.3f} ({arrow}{abs(finding.change):.1%}, "
+            f"tolerance {finding.tolerance:.0%}, {want} is better) "
+            f"-> {verdict}"
+        )
+    for path, reason in report.skipped:
+        lines.append(f"  skipped {path}: {reason}")
+    lines.append(
+        "  verdict: "
+        + (
+            "PASS"
+            if report.ok
+            else f"FAIL — {len(report.blocking)} blocking regression(s)"
+        )
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_MIN_POINTS",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "HIGHER_IS_BETTER",
+    "RegressionFinding",
+    "RegressionReport",
+    "check_history",
+    "compare_series",
+    "format_regression_report",
+]

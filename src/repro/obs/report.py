@@ -64,12 +64,13 @@ def format_snapshot(meta: dict[str, Any], rows: list[dict[str, Any]]) -> str:
     if histograms:
         lines.append("")
         lines.append(
-            f"{'histogram':<36} {'count':>8} {'mean':>10} {'p50':>10} "
-            f"{'p95':>10} {'p99':>10} {'max':>10}"
+            f"{'histogram':<36} {'count':>8} {'mean':>10} {'min':>10} "
+            f"{'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}"
         )
         for row in histograms:
             lines.append(
                 f"{row['name']:<36} {row['count']:>8} {row['mean']:>10.3g} "
+                f"{row.get('min', 0.0):>10.3g} "
                 f"{row['p50']:>10.3g} {row['p95']:>10.3g} "
                 f"{row['p99']:>10.3g} {row['max']:>10.3g}"
             )
@@ -80,6 +81,18 @@ def format_snapshot(meta: dict[str, Any], rows: list[dict[str, Any]]) -> str:
 
 
 def render_report(metrics_path: str | Path) -> str:
-    """Load a snapshot file and render the text report."""
+    """Load a snapshot file and render the text report.
+
+    If an SLO alert log (``alerts.jsonl``) sits next to the snapshot, its
+    transitions are appended — the operator reading the report is exactly
+    who needs to know an SLO fired mid-run.
+    """
+    from repro.obs.slo import ALERTS_FILENAME, format_alerts, read_alerts
+
     meta, rows = read_jsonl(metrics_path)
-    return format_snapshot(meta, rows)
+    text = format_snapshot(meta, rows)
+    alerts_path = Path(metrics_path).parent / ALERTS_FILENAME
+    if alerts_path.exists():
+        alert_meta, alert_rows = read_alerts(alerts_path)
+        text += "\n\n" + "\n".join(format_alerts(alert_meta, alert_rows))
+    return text

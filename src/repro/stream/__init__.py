@@ -9,6 +9,7 @@ checkpoints and windowed-metric emission. See ``docs/streaming.md``.
 """
 
 from repro.stream.service import (
+    SLO_ACTIONS,
     ServiceConfig,
     ServiceRunner,
     StreamReport,
@@ -17,6 +18,7 @@ from repro.stream.service import (
 )
 
 __all__ = [
+    "SLO_ACTIONS",
     "ServiceConfig",
     "ServiceRunner",
     "StreamReport",

@@ -205,3 +205,176 @@ class TestObsCommands:
         text = output.read_text()
         assert text.startswith("<!DOCTYPE html>")
         assert "repro dashboard" in text
+
+    def test_obs_report_empty_directory(self, tmp_path, capsys):
+        """A directory argument resolves the conventional snapshot name —
+        and fails cleanly when the directory holds none."""
+        empty = tmp_path / "obs"
+        empty.mkdir()
+        assert main(["obs", "report", "--metrics", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no metrics snapshot" in err and "metrics.jsonl" in err
+
+    def test_obs_report_corrupt_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "metrics.jsonl"
+        bad.write_text("{definitely not json\n")
+        assert main(["obs", "report", "--metrics", str(bad)]) == 2
+        assert "unreadable metrics snapshot" in capsys.readouterr().err
+
+    def test_obs_dashboard_named_obs_dir_must_exist(self, tmp_path, capsys):
+        empty = tmp_path / "obs"
+        empty.mkdir()
+        code = main(
+            [
+                "obs", "dashboard",
+                "--output", str(tmp_path / "index.html"),
+                "--obs-dir", str(empty),
+            ]
+        )
+        assert code == 2
+        assert "has no metrics.jsonl" in capsys.readouterr().err
+
+    def test_obs_dashboard_missing_history_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "obs", "dashboard",
+                "--output", str(tmp_path / "index.html"),
+                "--history-dir", str(tmp_path / "absent"),
+            ]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_obs_dashboard_empty_history_dir(self, tmp_path, capsys):
+        empty = tmp_path / "bench-history"
+        empty.mkdir()
+        code = main(
+            [
+                "obs", "dashboard",
+                "--output", str(tmp_path / "index.html"),
+                "--history-dir", str(empty),
+            ]
+        )
+        assert code == 2
+        assert "is empty" in capsys.readouterr().err
+
+
+class TestObsRegressCommand:
+    def write_history(self, root, rates):
+        import json
+
+        for i, rate in enumerate(rates):
+            snap = root / f"run-{i:08d}"
+            snap.mkdir(parents=True)
+            (snap / "BENCH_engine.json").write_text(
+                json.dumps(
+                    {
+                        "benchmark": "engine-throughput",
+                        "scenarios": [
+                            {"name": "smoke", "events_per_s": rate}
+                        ],
+                    }
+                )
+            )
+        return root
+
+    def test_missing_history_dir(self, tmp_path, capsys):
+        code = main(
+            ["obs", "regress", "--history-dir", str(tmp_path / "absent")]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_healthy_history_passes(self, tmp_path, capsys):
+        root = self.write_history(
+            tmp_path / "h", [1000.0, 1010.0, 990.0, 1005.0]
+        )
+        assert main(["obs", "regress", "--history-dir", str(root)]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        root = self.write_history(
+            tmp_path / "h", [1000.0, 1010.0, 990.0, 800.0]
+        )
+        assert main(["obs", "regress", "--history-dir", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "FAIL" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        root = self.write_history(tmp_path / "h", [1000.0, 1000.0, 780.0])
+        code = main(
+            ["obs", "regress", "--history-dir", str(root), "--json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["findings"][0]["metric"] == "engine events/s (mean)"
+
+    def test_tolerance_and_min_points_flags(self, tmp_path, capsys):
+        root = self.write_history(tmp_path / "h", [1000.0, 800.0])
+        # Two points: advisory under the default min-points of 3...
+        assert main(["obs", "regress", "--history-dir", str(root)]) == 0
+        capsys.readouterr()
+        # ...enforced once min-points is lowered to match the history.
+        code = main(
+            [
+                "obs", "regress", "--history-dir", str(root),
+                "--min-points", "2",
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        # ...and a wide-enough tolerance waves the same drop through.
+        code = main(
+            [
+                "obs", "regress", "--history-dir", str(root),
+                "--min-points", "2", "--tolerance", "0.5",
+            ]
+        )
+        assert code == 0
+
+
+class TestStreamExportCommands:
+    def test_bad_slo_rule_fails_cleanly(self, capsys):
+        code = main(
+            ["stream", "run", "--jobs", "2", "--slo", "not a rule !!"]
+        )
+        assert code == 2
+        assert "cannot parse SLO rule" in capsys.readouterr().err
+
+    def test_stream_run_with_export_and_slo(self, tmp_path, capsys):
+        from repro.obs.export import read_samples
+        from repro.obs.slo import read_alerts
+
+        samples = tmp_path / "samples.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
+        code = main(
+            [
+                "stream", "run", "--jobs", "4", "--seed", "1",
+                "--epoch-events", "64", "--quiet",
+                "--export-jsonl", str(samples),
+                "--slo", "jct=avg_jct>0.0@1",
+                "--alerts-output", str(alerts),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "jobs arrived" in captured.out
+        assert "alert transition(s)" in captured.err
+        rows = read_samples(samples)
+        assert rows and rows[0]["epoch"] == 1
+        meta, transitions = read_alerts(alerts)
+        assert meta["label"] == "stream run"
+        assert any(t["state"] == "firing" for t in transitions)
+
+    def test_stream_run_with_ephemeral_export_port(self, capsys):
+        code = main(
+            [
+                "stream", "run", "--jobs", "3", "--seed", "2",
+                "--epoch-events", "64", "--quiet", "--export-port", "0",
+            ]
+        )
+        assert code == 0
+        assert "exposition endpoint: http://" in capsys.readouterr().err

@@ -297,3 +297,138 @@ class TestDashboard:
         assert "unreadable" in text
         assert "store does not exist" in text
         assert "no metrics.jsonl here" in text
+
+
+class TestHistorySeries:
+    """``history_series`` / the dashboard trend section edge cases."""
+
+    @staticmethod
+    def engine_bench(snap_dir, events_per_s):
+        snap_dir.mkdir(parents=True, exist_ok=True)
+        (snap_dir / "BENCH_engine.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "engine-throughput",
+                    "scenarios": [
+                        {"name": "smoke", "events_per_s": events_per_s}
+                    ],
+                }
+            )
+        )
+
+    def test_single_snapshot(self, tmp_path):
+        from repro.obs.dashboard import history_series
+
+        root = tmp_path / "bench-history"
+        self.engine_bench(root / "run-00", 1000.0)
+        snapshots, series, skipped = history_series(root)
+        assert snapshots == ["run-00"]
+        assert series == {
+            "engine events/s (mean)": [("run-00", 1000.0)]
+        }
+        assert skipped == []
+        # The trend section still renders — one bar, no crash.
+        path = build_dashboard(
+            output=tmp_path / "index.html",
+            bench_paths=[], store_paths=[], obs_dirs=[],
+            history_dir=str(root),
+        )
+        assert "bench history" in path.read_text()
+
+    def test_gap_snapshots_skip_missing_metrics(self, tmp_path):
+        """A snapshot without a given BENCH file leaves a gap in that
+        metric's series rather than a zero."""
+        from repro.obs.dashboard import history_series
+
+        root = tmp_path / "bench-history"
+        self.engine_bench(root / "run-00", 1000.0)
+        (root / "run-01").mkdir()  # recorded, but benchless
+        self.engine_bench(root / "run-02", 900.0)
+        snapshots, series, skipped = history_series(root)
+        assert snapshots == ["run-00", "run-01", "run-02"]
+        assert series["engine events/s (mean)"] == [
+            ("run-00", 1000.0), ("run-02", 900.0),
+        ]
+        assert skipped == []
+
+    def test_malformed_snapshot_skipped_with_warning(self, tmp_path, caplog):
+        from repro.obs.dashboard import history_series
+
+        root = tmp_path / "bench-history"
+        self.engine_bench(root / "run-00", 1000.0)
+        bad = root / "run-01"
+        bad.mkdir()
+        (bad / "BENCH_engine.json").write_text("{broken")
+        (bad / "BENCH_list.json").write_text("[1, 2, 3]")  # not an object
+        # The repro logger tree runs with propagate=False (CLI config), so
+        # capture by attaching caplog's handler to the module logger.
+        import logging
+
+        dashboard_logger = logging.getLogger("repro.obs.dashboard")
+        dashboard_logger.addHandler(caplog.handler)
+        try:
+            with caplog.at_level("WARNING", logger="repro.obs.dashboard"):
+                snapshots, series, skipped = history_series(root)
+        finally:
+            dashboard_logger.removeHandler(caplog.handler)
+        assert snapshots == ["run-00", "run-01"]
+        assert len(series["engine events/s (mean)"]) == 1
+        reasons = {path: reason for path, reason in skipped}
+        assert any("JSONDecodeError" in r for r in reasons.values())
+        assert any("not a JSON object" in r for r in reasons.values())
+        warned = [r.getMessage() for r in caplog.records]
+        assert any("skipping malformed bench snapshot" in m for m in warned)
+        # The dashboard surfaces the skipped files instead of hiding them.
+        path = build_dashboard(
+            output=tmp_path / "index.html",
+            bench_paths=[], store_paths=[], obs_dirs=[],
+            history_dir=str(root),
+        )
+        assert "skipped malformed snapshot files" in path.read_text()
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        from repro.obs.dashboard import history_series
+
+        snapshots, series, skipped = history_series(tmp_path / "absent")
+        assert (snapshots, series, skipped) == ([], {}, [])
+
+
+class TestAlertsPanel:
+    def test_report_and_dashboard_include_alerts(self, tmp_path):
+        from repro.obs.slo import SloEvaluator, SloRule
+
+        with obs.collecting("alerting") as observer:
+            observer.registry.counter("engine.events.task_done").inc(3)
+        obs_dir = tmp_path / "obs"
+        metrics_path, _ = observer.write_artifacts(obs_dir)
+
+        evaluator = SloEvaluator(
+            [SloRule(name="busy", metric="counter:engine.events.task_done",
+                     threshold=0.0)]
+        )
+        evaluator.evaluate(1, 600.0, registry=observer.registry)
+        evaluator.write_alerts(obs_dir / "alerts.jsonl")
+
+        rendered = render_report(metrics_path)
+        assert "alerts" in rendered
+        assert "firing" in rendered and "busy" in rendered
+
+        path = build_dashboard(
+            output=tmp_path / "index.html",
+            bench_paths=[], store_paths=[], obs_dirs=[str(obs_dir)],
+        )
+        text = path.read_text()
+        assert "SLO alerts" in text
+        assert "busy" in text
+
+    def test_no_alerts_file_no_panel(self, tmp_path):
+        with obs.collecting("quiet") as observer:
+            observer.registry.counter("c").inc()
+        obs_dir = tmp_path / "obs"
+        metrics_path, _ = observer.write_artifacts(obs_dir)
+        assert "alerts" not in render_report(metrics_path)
+        path = build_dashboard(
+            output=tmp_path / "index.html",
+            bench_paths=[], store_paths=[], obs_dirs=[str(obs_dir)],
+        )
+        assert "SLO alerts" not in path.read_text()

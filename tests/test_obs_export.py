@@ -1,0 +1,207 @@
+"""Tests for ``repro.obs.export``: JSONL time series and exposition.
+
+The live-export contract: one sample per epoch keyed by the simulated
+clock (wall time is a label, never a key), exposition output that a real
+Prometheus would accept, and torn-tail-safe JSONL series.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    EXPOSITION_CONTENT_TYPE,
+    HttpExporter,
+    JsonlExporter,
+    MetricsExporter,
+    parse_exposition,
+    read_samples,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.events.task_done").inc(42)
+    registry.gauge("stream.jobs_active").set(7.5)
+    hist = registry.histogram("engine.select_latency_s")
+    for value in (0.001, 0.003, 0.2, 1.5):
+        hist.record(value)
+    return registry
+
+
+class TestExposition:
+    def test_sanitize_prefixes_and_replaces(self):
+        assert (
+            sanitize_metric_name("engine.cache.hits")
+            == "repro_engine_cache_hits"
+        )
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+
+    def test_counter_gets_total_suffix(self):
+        text = render_exposition(populated_registry())
+        assert "# TYPE repro_engine_events_task_done_total counter" in text
+        assert "repro_engine_events_task_done_total 42" in text
+
+    def test_gauge_maps_one_to_one(self):
+        text = render_exposition(populated_registry())
+        assert "# TYPE repro_stream_jobs_active gauge" in text
+        assert "repro_stream_jobs_active 7.5" in text
+
+    def test_histogram_buckets_are_cumulative_with_single_inf(self):
+        text = render_exposition(populated_registry())
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_engine_select_latency_s_bucket")
+        ]
+        # Exactly one +Inf line, equal to the total count.
+        inf_lines = [line for line in bucket_lines if "+Inf" in line]
+        assert len(inf_lines) == 1
+        assert inf_lines[0].endswith(" 4")
+        # Cumulative counts never decrease along the ladder.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert "repro_engine_select_latency_s_count 4" in text
+        # _sum is the exact running total, not a bucket estimate.
+        sum_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_engine_select_latency_s_sum ")
+        )
+        assert float(sum_line.split()[1]) == pytest.approx(1.704)
+
+    def test_sample_key_is_simulated_clock(self):
+        text = render_exposition(
+            populated_registry(), epoch=12, sim_time=3600.5, wall="W"
+        )
+        samples = parse_exposition(text)
+        assert samples["repro_export_epoch"] == 12
+        assert samples["repro_export_sim_time_seconds"] == 3600.5
+        # Wall clock only ever appears as a label on the info series.
+        assert samples['repro_export_info{wall="W"}'] == 1
+        assert "repro_export_wall" not in text
+
+    def test_render_is_deterministic_given_wall(self):
+        a = render_exposition(populated_registry(), epoch=1, wall="X")
+        b = render_exposition(populated_registry(), epoch=1, wall="X")
+        assert a == b
+
+    def test_empty_registry_renders_and_parses(self):
+        text = render_exposition(MetricsRegistry(), wall="W")
+        assert parse_exposition(text) == {'repro_export_info{wall="W"}': 1.0}
+
+
+class TestParseExposition:
+    def test_skips_comments_and_blanks(self):
+        parsed = parse_exposition("# HELP x y\n\nrepro_x 3\n")
+        assert parsed == {"repro_x": 3.0}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_exposition("repro_ok 1\nnot a sample line at all\n")
+
+    def test_round_trips_rendered_output(self):
+        registry = populated_registry()
+        parsed = parse_exposition(
+            render_exposition(registry, epoch=3, sim_time=60.0)
+        )
+        assert parsed["repro_engine_events_task_done_total"] == 42.0
+        assert parsed["repro_engine_select_latency_s_count"] == 4.0
+
+
+class TestJsonlExporter:
+    def test_appends_one_sample_per_export(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        exporter = JsonlExporter(path)
+        registry = populated_registry()
+        exporter.export(1, 60.0, registry)
+        exporter.export(2, 120.0, registry)
+        exporter.close()
+        assert exporter.samples_written == 2
+        samples = read_samples(path)
+        assert [s["epoch"] for s in samples] == [1, 2]
+        assert [s["sim_time"] for s in samples] == [60.0, 120.0]
+        names = {m["name"] for m in samples[0]["metrics"]}
+        assert "engine.events.task_done" in names
+
+    def test_satisfies_exporter_protocol(self, tmp_path):
+        assert isinstance(JsonlExporter(tmp_path / "s.jsonl"), MetricsExporter)
+
+    def test_read_samples_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export(1, 60.0, MetricsRegistry())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "sample", "epoch": 2, "tru')  # killed mid-write
+        samples = read_samples(path)
+        assert len(samples) == 1
+        assert samples[0]["epoch"] == 1
+
+    def test_read_samples_missing_file_is_empty(self, tmp_path):
+        assert read_samples(tmp_path / "absent.jsonl") == []
+
+    def test_read_samples_ignores_foreign_rows(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        path.write_text('{"type": "meta"}\n{"type": "sample", "epoch": 5}\n')
+        assert [s["epoch"] for s in read_samples(path)] == [5]
+
+
+class TestHttpExporter:
+    @pytest.fixture
+    def endpoint(self):
+        exporter = HttpExporter(port=0)
+        yield exporter
+        exporter.close()
+
+    def scrape(self, url: str):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_serves_latest_sample(self, endpoint):
+        assert isinstance(endpoint, MetricsExporter)
+        endpoint.export(4, 240.0, populated_registry())
+        status, headers, body = self.scrape(endpoint.url)
+        assert status == 200
+        assert headers["Content-Type"] == EXPOSITION_CONTENT_TYPE
+        parsed = parse_exposition(body.decode("utf-8"))
+        assert parsed["repro_export_epoch"] == 4
+        assert parsed["repro_export_sim_time_seconds"] == 240.0
+        assert parsed["repro_engine_events_task_done_total"] == 42.0
+
+    def test_scrape_before_first_export_is_well_formed(self, endpoint):
+        status, _, body = self.scrape(endpoint.url)
+        assert status == 200
+        parse_exposition(body.decode("utf-8"))  # must not raise
+
+    def test_unknown_path_is_404(self, endpoint):
+        bad = endpoint.url.replace("/metrics", "/nope")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.scrape(bad)
+        assert excinfo.value.code == 404
+
+    def test_ephemeral_port_is_bound(self, endpoint):
+        assert endpoint.port > 0
+        assert f":{endpoint.port}/metrics" in endpoint.url
+
+    def test_close_stops_serving(self):
+        exporter = HttpExporter(port=0)
+        url = exporter.url
+        exporter.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=2)
+
+
+class TestSampleRowShape:
+    def test_rows_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "samples.jsonl"
+        JsonlExporter(path).export(1, 60.0, MetricsRegistry())
+        line = path.read_text(encoding="utf-8").strip()
+        row = json.loads(line)
+        assert line == json.dumps(row, sort_keys=True)
+        assert row["type"] == "sample"
+        assert set(row) == {"type", "epoch", "sim_time", "wall", "metrics"}

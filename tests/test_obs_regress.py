@@ -1,0 +1,217 @@
+"""Tests for ``repro.obs.regress``: the benchmark regression gate.
+
+The acceptance scenario: a fixture history directory with a synthetic
+20% throughput drop must be flagged (blocking once >= min_points history
+exists), while a healthy history passes. Plus the comparison mechanics —
+trailing-window baselines, per-direction tolerance, the advisory phase
+below ``min_points``, and malformed-snapshot reporting.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    HIGHER_IS_BETTER,
+    RegressionFinding,
+    check_history,
+    compare_series,
+    format_regression_report,
+)
+
+
+def write_engine_bench(snap_dir, events_per_s):
+    snap_dir.mkdir(parents=True, exist_ok=True)
+    (snap_dir / "BENCH_engine.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "engine-throughput",
+                "scenarios": [{"name": "smoke", "events_per_s": events_per_s}],
+            }
+        )
+    )
+
+
+def write_stream_bench(snap_dir, jobs_per_s, rss_ratio=1.0):
+    snap_dir.mkdir(parents=True, exist_ok=True)
+    (snap_dir / "BENCH_stream.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "stream-steady",
+                "steady_jobs_per_s": jobs_per_s,
+                "rss_ratio": rss_ratio,
+            }
+        )
+    )
+
+
+def history(tmp_path, rates):
+    """A history dir with one engine-throughput snapshot per rate."""
+    root = tmp_path / "bench-history"
+    for i, rate in enumerate(rates):
+        write_engine_bench(root / f"run-{i:08d}", rate)
+    return root
+
+
+class TestCompareSeries:
+    def test_single_point_has_nothing_to_compare(self):
+        assert compare_series("m", [("a", 1.0)]) is None
+        assert compare_series("m", []) is None
+
+    def test_zero_baseline_is_undefined(self):
+        assert compare_series("m", [("a", 0.0), ("b", 1.0)]) is None
+
+    def test_baseline_is_mean_of_trailing_window(self):
+        points = [(f"s{i}", v) for i, v in enumerate(
+            [100.0, 10.0, 20.0, 30.0]
+        )]
+        finding = compare_series("m", points, window=2)
+        # Window 2: baseline folds only the two points before the newest.
+        assert finding.baseline == pytest.approx(15.0)
+        assert finding.baseline_points == 2
+        assert finding.snapshot == "s3"
+        assert finding.newest == 30.0
+
+    def test_higher_is_better_drop_regresses(self):
+        metric = "engine events/s (mean)"
+        assert metric in HIGHER_IS_BETTER
+        points = [("a", 1000.0), ("b", 1000.0), ("c", 800.0)]
+        finding = compare_series(metric, points)
+        assert finding.change == pytest.approx(-0.2)
+        assert finding.regressed and finding.enforced and finding.blocking
+
+    def test_higher_is_better_rise_is_fine(self):
+        points = [("a", 1000.0), ("b", 1000.0), ("c", 1500.0)]
+        finding = compare_series("engine events/s (mean)", points)
+        assert not finding.regressed
+
+    def test_lower_is_better_rise_regresses(self):
+        points = [("a", 1.0), ("b", 1.0), ("c", 1.3)]
+        finding = compare_series("stream peak-RSS ratio", points)
+        assert finding.change == pytest.approx(0.3)
+        assert finding.regressed
+
+    def test_within_tolerance_is_ok(self):
+        points = [("a", 1000.0), ("b", 1000.0), ("c", 950.0)]
+        finding = compare_series("engine events/s (mean)", points)
+        assert not finding.regressed
+
+    def test_below_min_points_is_advisory(self):
+        points = [("a", 1000.0), ("b", 700.0)]
+        finding = compare_series("engine events/s (mean)", points)
+        assert finding.regressed
+        assert not finding.enforced
+        assert not finding.blocking
+
+    def test_custom_tolerance(self):
+        points = [("a", 100.0), ("b", 100.0), ("c", 88.0)]
+        tight = compare_series("engine events/s (mean)", points,
+                               tolerance=0.05)
+        loose = compare_series("engine events/s (mean)", points,
+                               tolerance=0.20)
+        assert tight.regressed and not loose.regressed
+
+
+class TestCheckHistory:
+    def test_synthetic_20pct_throughput_regression_is_flagged(self, tmp_path):
+        """The acceptance fixture: steady throughput, then a 20% drop."""
+        root = history(tmp_path, [1000.0, 1010.0, 990.0, 800.0])
+        report = check_history(root)
+        assert not report.ok
+        assert [f.metric for f in report.blocking] == [
+            "engine events/s (mean)"
+        ]
+        finding = report.blocking[0]
+        assert finding.change == pytest.approx(-0.2, abs=0.01)
+        assert finding.snapshot == "run-00000003"
+        text = format_regression_report(report)
+        assert "REGRESSED" in text
+        assert "FAIL" in text
+
+    def test_healthy_history_passes(self, tmp_path):
+        root = history(tmp_path, [1000.0, 1020.0, 980.0, 1010.0])
+        report = check_history(root)
+        assert report.ok
+        assert not report.blocking
+        assert "PASS" in format_regression_report(report)
+
+    def test_single_snapshot_is_vacuously_ok(self, tmp_path):
+        root = history(tmp_path, [1000.0])
+        report = check_history(root)
+        assert report.ok
+        assert report.findings == []
+        assert "nothing to compare" in format_regression_report(report)
+
+    def test_two_point_regression_stays_advisory(self, tmp_path):
+        root = history(tmp_path, [1000.0, 600.0])
+        report = check_history(root)
+        assert report.ok  # regressed but not enforced below min_points
+        assert len(report.advisory) == 1
+        assert "advisory" in format_regression_report(report)
+
+    def test_mixed_metrics_and_gaps(self, tmp_path):
+        """Snapshots may hold different bench files; each metric's series
+        simply skips the snapshots that lack it."""
+        root = tmp_path / "bench-history"
+        write_engine_bench(root / "run-00", 1000.0)
+        write_stream_bench(root / "run-01", 50.0)
+        write_engine_bench(root / "run-02", 1000.0)
+        write_stream_bench(root / "run-02", 49.0)
+        write_engine_bench(root / "run-03", 990.0)
+        report = check_history(root)
+        assert report.ok
+        metrics = {f.metric for f in report.findings}
+        assert "engine events/s (mean)" in metrics
+        assert "stream jobs/s" in metrics
+
+    def test_malformed_snapshot_is_reported_not_fatal(self, tmp_path):
+        root = history(tmp_path, [1000.0, 1000.0, 1000.0])
+        bad = root / "run-00000099"
+        bad.mkdir()
+        (bad / "BENCH_engine.json").write_text("{not json")
+        report = check_history(root)
+        assert report.ok
+        assert len(report.skipped) == 1
+        assert "BENCH_engine.json" in report.skipped[0][0]
+        assert "skipped" in format_regression_report(report)
+
+    def test_per_metric_tolerance_override(self, tmp_path):
+        root = history(tmp_path, [1000.0, 1000.0, 1000.0, 850.0])
+        default = check_history(root)
+        widened = check_history(
+            root, tolerances={"engine events/s (mean)": 0.25}
+        )
+        assert not default.ok
+        assert widened.ok
+
+    def test_report_to_dict_round_trips_via_json(self, tmp_path):
+        root = history(tmp_path, [1000.0, 1000.0, 800.0])
+        doc = json.loads(json.dumps(check_history(root).to_dict()))
+        assert doc["ok"] is False
+        assert doc["findings"][0]["blocking"] is True
+        assert doc["snapshots"] == [
+            "run-00000000", "run-00000001", "run-00000002",
+        ]
+
+    def test_missing_directory_is_empty_report(self, tmp_path):
+        report = check_history(tmp_path / "absent")
+        assert report.ok
+        assert report.snapshots == []
+
+
+class TestFindingShape:
+    def test_blocking_needs_both_flags(self):
+        base = dict(
+            metric="m", snapshot="s", newest=1.0, baseline=2.0,
+            baseline_points=1, total_points=2, change=-0.5, tolerance=0.1,
+            higher_is_better=True,
+        )
+        assert RegressionFinding(
+            **base, regressed=True, enforced=True
+        ).blocking
+        assert not RegressionFinding(
+            **base, regressed=True, enforced=False
+        ).blocking
+        assert not RegressionFinding(
+            **base, regressed=False, enforced=True
+        ).blocking

@@ -1,0 +1,296 @@
+"""Tests for ``repro.obs.slo``: rules, evaluation, alerts, degradation.
+
+Covers the rule syntax and validation, windowed- and registry-metric
+measurement, the transition-only alert semantics (unknown holds state),
+the alert-log artifact, and the one sanctioned feedback path — a
+``ServiceRunner`` pausing admission while an SLO fires — including the
+no-deadlock guarantee and checkpoint/restore of the paused flag.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SloAlert,
+    SloEvaluator,
+    SloRule,
+    format_alerts,
+    read_alerts,
+    rule_value,
+    window_metric_value,
+)
+from repro.stream import ServiceConfig, ServiceRunner
+from repro.workloads.stream import StreamSpec
+
+
+def window(
+    index=0, arrivals=0, jobs=0, tasks=0, preempted=0, busy=0.0,
+    carbon=0.0, jct=0.0,
+):
+    return {
+        "index": index,
+        "start": index * 600.0,
+        "end": (index + 1) * 600.0,
+        "arrivals": arrivals,
+        "jobs_completed": jobs,
+        "tasks_completed": tasks,
+        "tasks_preempted": preempted,
+        "busy_s": busy,
+        "carbon": carbon,
+        "avg_jct": jct,
+    }
+
+
+class TestSloRule:
+    def test_parse_full_form(self):
+        rule = SloRule.parse("slow=avg_jct>120@3")
+        assert rule.name == "slow"
+        assert rule.metric == "avg_jct"
+        assert rule.threshold == 120.0
+        assert rule.direction == "above"
+        assert rule.window == 3
+
+    def test_parse_defaults_name_and_window(self):
+        rule = SloRule.parse("jobs_completed<10")
+        assert rule.name == "jobs_completed"
+        assert rule.direction == "below"
+        assert rule.window == 1
+
+    def test_parse_registry_metric(self):
+        rule = SloRule.parse("drain=gauge:stream.jobs_active>500")
+        assert rule.metric == "gauge:stream.jobs_active"
+
+    @pytest.mark.parametrize(
+        "text", ["", "avg_jct", "avg_jct>>3", "avg_jct>abc", "x y>1"]
+    )
+    def test_parse_rejects_garbage(self, text):
+        with pytest.raises(ValueError, match="cannot parse"):
+            SloRule.parse(text)
+
+    def test_unknown_window_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown window metric"):
+            SloRule(name="x", metric="not_a_metric", threshold=1.0)
+
+    def test_unknown_registry_prefix_rejected(self):
+        with pytest.raises(ValueError, match="unknown registry prefix"):
+            SloRule(name="x", metric="p42:foo", threshold=1.0)
+
+    def test_bad_direction_and_window_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            SloRule(name="x", metric="avg_jct", threshold=1.0,
+                    direction="sideways")
+        with pytest.raises(ValueError, match="window"):
+            SloRule(name="x", metric="avg_jct", threshold=1.0, window=0)
+
+    def test_violated_respects_direction(self):
+        above = SloRule(name="a", metric="avg_jct", threshold=10.0)
+        assert above.violated(10.1) and not above.violated(10.0)
+        below = SloRule(name="b", metric="jobs_completed", threshold=5.0,
+                        direction="below")
+        assert below.violated(4.9) and not below.violated(5.0)
+
+
+class TestWindowMetrics:
+    def test_sums_aggregate_across_windows(self):
+        windows = [window(0, arrivals=2, busy=10.0),
+                   window(1, arrivals=3, busy=5.0)]
+        assert window_metric_value("arrivals", windows) == 5.0
+        assert window_metric_value("busy_s", windows) == 15.0
+
+    def test_avg_jct_is_job_weighted(self):
+        windows = [window(0, jobs=1, jct=10.0), window(1, jobs=3, jct=50.0)]
+        assert window_metric_value("avg_jct", windows) == pytest.approx(40.0)
+
+    def test_empty_denominator_is_unknown(self):
+        idle = [window(0), window(1)]
+        assert window_metric_value("avg_jct", idle) is None
+        assert window_metric_value("carbon_per_job", idle) is None
+        assert window_metric_value("preemption_rate", idle) is None
+        assert window_metric_value("avg_jct", []) is None
+
+    def test_preemption_rate(self):
+        windows = [window(0, tasks=8, preempted=2)]
+        assert window_metric_value("preemption_rate", windows) == 0.25
+
+    def test_rule_value_trims_to_rule_window(self):
+        rule = SloRule(name="r", metric="arrivals", threshold=0.0, window=2)
+        windows = [window(0, arrivals=100), window(1, arrivals=1),
+                   window(2, arrivals=2)]
+        assert rule_value(rule, windows, None) == 3.0
+
+
+class TestRegistryMetrics:
+    def test_counter_and_gauge_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        counter = SloRule(name="c", metric="counter:c", threshold=0.0)
+        gauge = SloRule(name="g", metric="gauge:g", threshold=0.0)
+        assert rule_value(counter, None, registry) == 3.0
+        assert rule_value(gauge, None, registry) == 1.5
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            hist.record(v)
+        for prefix, expected in (("mean", 2.0), ("min", 1.0), ("max", 3.0)):
+            rule = SloRule(name=prefix, metric=f"{prefix}:h", threshold=0.0)
+            assert rule_value(rule, None, registry) == expected
+        p95 = SloRule(name="p", metric="p95:h", threshold=0.0)
+        assert rule_value(p95, None, registry) is not None
+
+    def test_unknown_instrument_is_unknown_not_created(self):
+        registry = MetricsRegistry()
+        rule = SloRule(name="x", metric="gauge:absent", threshold=0.0)
+        assert rule_value(rule, None, registry) is None
+        # The lookup must not have created the instrument.
+        assert all(i.name != "absent" for i in registry)
+
+    def test_type_mismatch_is_unknown(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        registry.counter("c").inc()
+        as_gauge = SloRule(name="a", metric="gauge:h", threshold=0.0)
+        as_p95 = SloRule(name="b", metric="p95:c", threshold=0.0)
+        assert rule_value(as_gauge, None, registry) is None
+        assert rule_value(as_p95, None, registry) is None
+
+    def test_empty_histogram_is_unknown(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        rule = SloRule(name="x", metric="p95:h", threshold=0.0)
+        assert rule_value(rule, None, registry) is None
+
+
+class TestSloEvaluator:
+    def rule(self, threshold=10.0):
+        return SloRule(name="jct", metric="avg_jct", threshold=threshold,
+                       window=1)
+
+    def test_emits_only_on_transitions(self):
+        evaluator = SloEvaluator([self.rule()])
+        quiet = [window(0, jobs=1, jct=5.0)]
+        loud = [window(1, jobs=1, jct=50.0)]
+        assert evaluator.evaluate(1, 600.0, windows=quiet) == []
+        fired = evaluator.evaluate(2, 1200.0, windows=loud)
+        assert [a.state for a in fired] == ["firing"]
+        assert evaluator.firing == frozenset({"jct"})
+        # Still violating: steady state is silent.
+        assert evaluator.evaluate(3, 1800.0, windows=loud) == []
+        resolved = evaluator.evaluate(4, 2400.0, windows=quiet)
+        assert [a.state for a in resolved] == ["resolved"]
+        assert evaluator.firing == frozenset()
+        assert [a.state for a in evaluator.alerts] == ["firing", "resolved"]
+
+    def test_unknown_value_holds_state(self):
+        evaluator = SloEvaluator([self.rule()])
+        evaluator.evaluate(1, 600.0, windows=[window(0, jobs=1, jct=50.0)])
+        assert evaluator.firing == frozenset({"jct"})
+        # No completed jobs -> unknown -> the alert neither re-fires nor
+        # resolves.
+        assert evaluator.evaluate(2, 1200.0, windows=[window(1)]) == []
+        assert evaluator.firing == frozenset({"jct"})
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEvaluator([self.rule(), self.rule()])
+
+    def test_on_alert_callback_fires_synchronously(self):
+        seen: list[SloAlert] = []
+        evaluator = SloEvaluator([self.rule()], on_alert=seen.append)
+        evaluator.evaluate(1, 600.0, windows=[window(0, jobs=1, jct=50.0)])
+        assert len(seen) == 1 and seen[0].state == "firing"
+
+    def test_alert_log_round_trip(self, tmp_path):
+        evaluator = SloEvaluator([self.rule()])
+        evaluator.evaluate(1, 600.0, windows=[window(0, jobs=1, jct=50.0)])
+        path = evaluator.write_alerts(
+            tmp_path / "alerts.jsonl", meta={"label": "unit"}
+        )
+        meta, rows = read_alerts(path)
+        assert meta["label"] == "unit"
+        assert meta["firing"] == ["jct"]
+        assert meta["evaluations"] == 1
+        assert [r["name"] for r in meta["rules"]] == ["jct"]
+        assert len(rows) == 1 and rows[0]["state"] == "firing"
+        text = "\n".join(format_alerts(meta, rows))
+        assert "firing" in text and "jct" in text
+
+    def test_format_alerts_without_transitions(self):
+        lines = format_alerts({"rules": [], "firing": []}, [])
+        assert any("none" in line for line in lines)
+
+
+def tiny_service(**kwargs) -> ServiceConfig:
+    return ServiceConfig(
+        experiment=ExperimentConfig(
+            scheduler="fifo", num_executors=4, seed=0
+        ),
+        stream=StreamSpec(
+            family="tpch", mean_interarrival=10.0, tpch_scales=(2,),
+            seed=0, max_jobs=8,
+        ),
+        window_s=600.0,
+        epoch_events=32,
+        **kwargs,
+    )
+
+
+class TestServiceDegradation:
+    """The pause-admission feedback path on ServiceRunner."""
+
+    def firing_rule(self):
+        # Any completed job violates instantly -> fires on the first
+        # closed window with work in it.
+        return SloRule(name="jct", metric="avg_jct", threshold=0.0, window=1)
+
+    def test_invalid_slo_action_rejected(self):
+        with pytest.raises(ValueError, match="slo_action"):
+            ServiceRunner(tiny_service(), slo_action="explode")
+
+    def test_pause_admission_run_still_drains(self):
+        runner = ServiceRunner(
+            tiny_service(),
+            slo_rules=[self.firing_rule()],
+            slo_action="pause-admission",
+        )
+        report = runner.run()
+        # The alert fired, admission paused, and the deadlock guard
+        # resumed it once the engine emptied — the run still finishes.
+        assert any(a.state == "firing" for a in runner.slo.alerts)
+        assert report.drained
+        assert report.jobs_completed == 8
+
+    def test_default_action_never_pauses(self):
+        runner = ServiceRunner(tiny_service(), slo_rules=[self.firing_rule()])
+        runner.run()
+        assert runner.slo.alerts  # fired...
+        assert not runner.admission_paused  # ...but hands off
+
+    def test_manual_pause_resume(self):
+        runner = ServiceRunner(tiny_service())
+        assert not runner.admission_paused
+        runner.pause_admission()
+        assert runner.admission_paused
+        runner.resume_admission()
+        assert not runner.admission_paused
+
+    def test_checkpoint_preserves_paused_flag(self):
+        runner = ServiceRunner(
+            tiny_service(),
+            slo_rules=[self.firing_rule()],
+            slo_action="pause-admission",
+        )
+        runner.run(max_epochs=3)
+        blob = runner.checkpoint()
+        restored = ServiceRunner.restore(
+            blob,
+            slo_rules=[self.firing_rule()],
+            slo_action="pause-admission",
+        )
+        assert restored.admission_paused == runner.admission_paused
+        assert restored.sim_now == runner.sim_now
+        report = restored.run()
+        assert report.drained
