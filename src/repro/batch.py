@@ -1,0 +1,497 @@
+"""Batched multi-seed replicate engine.
+
+Campaigns spend most of their wall-clock advancing N replicate
+simulations of the *same* config that differ only in the replicate
+fields (``seed``, ``trace_start_step``). :class:`BatchedStepper`
+advances N such :class:`~repro.simulator.engine.SimulationStepper`\\ s in
+one process through a request *pump*:
+
+- **construction is shared** — one workload synthesis per distinct
+  ``(workload spec, seed)`` (the :func:`memoized_workload` cache) and one
+  :class:`~repro.carbon.trace.CarbonTrace` slice (with its lazily built
+  cumulative integral) per distinct ``(grid, trace_hours,
+  trace_start_step)``, instead of per replicate;
+- **scoring is stacked** — the engine's generator step
+  (:meth:`SimulationStepper._step_gen`) suspends at each scheduler score
+  request (:class:`~repro.simulator.interfaces.ScoreRequest`). The pump
+  advances each replicate independently — running whole engine steps
+  that never request scores (cache-hit deferral streaks, event glue)
+  without pausing — until every live replicate is *parked* at its next
+  request, then resolves the parked wave together: one concatenated
+  ``(Σn, 8)``-column score expression and one stacked softmax per wave,
+  amortizing numpy dispatch overhead across replicates. Pumping (rather
+  than stepping replicates in lockstep) keeps the wave as wide as the
+  number of unfinished replicates even when their event clocks drift
+  apart.
+
+The bit-identity contract — the reason batching is safe to use for
+campaign records — is that every replicate's schedule is byte-identical
+to its solo run:
+
+- replicates are mutually independent, so resolving their requests in
+  any order (or together) cannot reorder anything *within* a replicate;
+- each replicate keeps its own ``np.random.Generator``; all sampling
+  draws happen inside the replicate's generator after its request
+  resolves;
+- the stacked expressions only batch operations whose per-element result
+  is position-independent: elementwise correctly-rounded IEEE-754 ufuncs
+  and per-block maxima (``np.maximum.reduceat`` — max never rounds).
+  Per-block *sums* keep the solo call shape (``weights[a:b].sum()`` on a
+  contiguous slice — numpy's pairwise summation depends only on length
+  and contiguity). The one transcendental in the pipeline, ``np.exp``,
+  is guarded by :func:`_verify_stacked_softmax`: a once-per-process
+  probe comparing stacked and solo softmax bitwise on random inputs,
+  with automatic per-request fallback when the installed numpy's SIMD
+  dispatch disagrees (the ``_verify_inline_choice`` pattern).
+
+When every replicate runs a non-vectorized scheduler (FIFO,
+weighted-fair), the generators never yield and batching is a no-op
+beyond the shared construction — correct, just not faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.engine import SimulationStepper
+from repro.simulator.interfaces import ScoreRequest, _sample_index
+from repro.simulator.metrics import ExperimentResult
+
+
+def _verify_stacked_softmax() -> bool:
+    """Check that the stacked softmax reproduces the solo one bitwise.
+
+    Exercises a spread of block counts, block sizes, and temperatures;
+    the solo reference below is the exact operation sequence of
+    :meth:`ProbabilisticPolicy._softmax`. The only operation that could
+    legitimately differ is ``np.exp`` (SIMD kernels may round an element
+    differently depending on its position in the array); everything else
+    in the stacked pipeline is exact by construction.
+    """
+    probe = np.random.default_rng(0)
+    for _ in range(32):
+        blocks = int(probe.integers(2, 9))
+        raws = [
+            probe.standard_normal(int(probe.integers(1, 48))) * 3.0
+            for _ in range(blocks)
+        ]
+        temperature = float(probe.uniform(0.05, 2.0))
+        solo = []
+        for raw in raws:
+            scaled = raw / temperature
+            scaled -= scaled.max()
+            weights = np.exp(scaled)
+            solo.append(weights / weights.sum())
+        for reference, stacked in zip(solo, stacked_softmax(raws, temperature)):
+            if not np.array_equal(reference, stacked):
+                return False
+    return True
+
+
+_STACKED_SOFTMAX_OK: bool | None = None
+
+
+def _stacked_softmax_ok() -> bool:
+    global _STACKED_SOFTMAX_OK
+    if _STACKED_SOFTMAX_OK is None:
+        _STACKED_SOFTMAX_OK = _verify_stacked_softmax()
+    return _STACKED_SOFTMAX_OK
+
+
+def stacked_softmax(raws: list[np.ndarray], temperature: float) -> list[np.ndarray]:
+    """Per-block temperature softmax over concatenated score blocks.
+
+    Mirrors :meth:`ProbabilisticPolicy._softmax` per block: the scale and
+    divide steps are elementwise (exact), the per-block max is an exact
+    ``np.maximum.reduceat``, and each block's normalizing sum is taken
+    over its own contiguous slice so the pairwise summation tree matches
+    the solo call. Bitwise equality with the solo path is enforced by
+    :func:`_verify_stacked_softmax` before this is used for resolution.
+    """
+    lengths = np.array([r.size for r in raws])
+    bounds = lengths.cumsum()
+    offsets = bounds - lengths
+    scaled = np.concatenate(raws) / temperature
+    scaled -= np.repeat(np.maximum.reduceat(scaled, offsets), lengths)
+    weights = np.exp(scaled)
+    sums = np.empty(len(raws))
+    for i, (a, b) in enumerate(zip(offsets, bounds)):
+        sums[i] = weights[a:b].sum()
+    probs = weights / np.repeat(sums, lengths)
+    return [probs[a:b] for a, b in zip(offsets, bounds)]
+
+
+def resolve_requests(requests: list[ScoreRequest]) -> list:
+    """Resolve concurrent replicates' score requests, stacking where safe.
+
+    Replays the solo resolution pipeline (:meth:`ScoreRequest.resolve`)
+    across the wave. When every request's policy runs the same softmax
+    temperature (the replicate case — equal hyperparameters by
+    construction) and the once-per-process probe admits the stacked
+    softmax, the wave takes :func:`_resolve_wave_stacked`; otherwise each
+    request resolves solo. Either way the per-replicate caches are
+    probed and stored through the same hooks the sync path uses, and
+    every RNG draw comes from the requesting policy's own generator in
+    the requesting replicate's order — the bit-identity contract.
+    """
+    if len(requests) == 1:
+        return [requests[0].resolve()]
+    temperature = requests[0].policy.temperature
+    if _stacked_softmax_ok() and all(
+        r.policy.temperature == temperature for r in requests
+    ):
+        return _resolve_wave_stacked(requests, temperature)
+    return [request.resolve() for request in requests]
+
+
+def _resolve_wave_stacked(
+    requests: list[ScoreRequest], temperature: float
+) -> list:
+    """One wave through a single concatenated column space.
+
+    Position-independent operations run once over the concatenation —
+    assignable-slot discovery, raw scoring (via
+    :meth:`scores_from_stacked` for cache misses sharing a
+    :meth:`stack_key`), the softmax scale/shift/exp/divide, per-block
+    maxima (``np.maximum.reduceat``, exact), and the action-mask gather
+    and renormalizing divide. Order-sensitive operations stay per block
+    on contiguous slices whose values, lengths, and layout match the
+    solo arrays exactly — the normalizing and renormalizing *sums*
+    (numpy's pairwise summation tree depends only on those), each
+    block's ``cumsum``/``searchsorted`` draw, and the per-replicate RNG
+    call — so every float and every consumed random number is the one
+    the solo resolution would produce.
+    """
+    n = len(requests)
+    replies: list = [None] * n
+
+    # --- sample-kind preamble: stacked assignable discovery ------------
+    # One flatnonzero over the concatenated slot columns replaces one per
+    # request; searchsorted recovers the per-block boundaries (nz is
+    # sorted), and the subtract rebases each block's hits to local
+    # indices — all exact integer arithmetic, so each slice equals the
+    # solo ``np.flatnonzero(frontier.slots > 0)`` value for value.
+    sample_idx = [i for i, r in enumerate(requests) if r.kind == "sample"]
+    assignables: list = [None] * n
+    local = cut_l = end_l = None
+    if sample_idx:
+        slot_cols = [requests[i].frontier.slots for i in sample_idx]
+        lengths = np.fromiter(
+            (c.size for c in slot_cols), np.intp, len(slot_cols)
+        )
+        bounds = np.cumsum(lengths)
+        offsets = bounds - lengths
+        nz = np.flatnonzero(np.concatenate(slot_cols) > 0)
+        cuts = np.searchsorted(nz, offsets)
+        ends = np.searchsorted(nz, bounds)
+        counts = ends - cuts
+        local = nz - np.repeat(offsets, counts)
+        cut_l = cuts.tolist()
+        end_l = ends.tolist()
+        for k, i in enumerate(sample_idx):
+            assignable = local[cut_l[k]:end_l[k]]
+            if assignable.size == 0:
+                frontier = requests[i].frontier
+                if frontier.parent_data is None:
+                    requests[i].policy._dist_cache = (
+                        frontier.data, None, assignable,
+                    )
+            else:
+                assignables[i] = assignable
+
+    need = [
+        i for i, r in enumerate(requests)
+        if r.kind == "select" or assignables[i] is not None
+    ]
+    if not need:
+        return replies
+    # Dominant wave shape: every request samples and every block has an
+    # assignable entry. Then the softmax layout *is* the preamble layout
+    # (raw scores are frontier-length) and the concatenated assignables
+    # (``local``) *are* the gather index — reuse both instead of
+    # rebuilding them below.
+    aligned = len(sample_idx) == n and len(need) == n
+
+    # --- raw scores: cache probe, stacked compute for misses -----------
+    raws: list = [None] * n
+    fresh: dict = {}
+    for i in need:
+        request = requests[i]
+        cached = request.policy._cached_raw_scores(request.frontier)
+        if cached is not None:
+            raws[i] = cached
+        else:
+            fresh.setdefault(request.policy.stack_key(), []).append(i)
+    for key, idxs in fresh.items():
+        if key is None or len(idxs) == 1:
+            for i in idxs:
+                request = requests[i]
+                raw = request.policy.scores_from_arrays(
+                    request.view, request.frontier
+                )
+                request.policy._store_raw_scores(request.frontier, raw)
+                raws[i] = raw
+        else:
+            scored = requests[idxs[0]].policy.scores_from_stacked(
+                [requests[i].frontier for i in idxs]
+            )
+            for i, raw in zip(idxs, scored):
+                requests[i].policy._store_raw_scores(requests[i].frontier, raw)
+                raws[i] = raw
+
+    # --- stacked softmax over the whole wave ---------------------------
+    if aligned:
+        raw_list = raws
+    else:
+        raw_list = [raws[i] for i in need]
+        lengths = np.fromiter(
+            (r.size for r in raw_list), np.intp, len(raw_list)
+        )
+        bounds = np.cumsum(lengths)
+        offsets = bounds - lengths
+    scaled = np.concatenate(raw_list) / temperature
+    scaled -= np.repeat(np.maximum.reduceat(scaled, offsets), lengths)
+    weights = np.exp(scaled)
+    off_l = offsets.tolist()
+    bnd_l = bounds.tolist()
+    sums = np.empty(len(need))
+    for k, (a, b) in enumerate(zip(off_l, bnd_l)):
+        sums[k] = weights[a:b].sum()
+    probs = weights / np.repeat(sums, lengths)
+    peak_l = np.maximum.reduceat(probs, offsets).tolist()
+
+    # --- stacked action-mask gather + renormalizing divide -------------
+    # The per-request gather (``probs[assignable]``) and the divide by
+    # each block's renormalizing sum are position-independent, so they
+    # stack; the sums themselves stay per-block contiguous-slice calls
+    # (numpy's pairwise summation depends only on values and length).
+    if aligned:
+        samples = range(n)
+        g_off, g_bnd = cut_l, end_l
+        gathered = probs[local + np.repeat(offsets, counts)]
+    else:
+        samples = [
+            k for k, i in enumerate(need) if requests[i].kind == "sample"
+        ]
+        g_off = g_bnd = gt_l = ()
+        if samples:
+            picks = [assignables[need[k]] for k in samples]
+            g_counts = np.fromiter(
+                (p.size for p in picks), np.intp, len(picks)
+            )
+            g_bounds = np.cumsum(g_counts)
+            g_off = (g_bounds - g_counts).tolist()
+            g_bnd = g_bounds.tolist()
+            gathered = probs[
+                np.concatenate(picks)
+                + np.repeat(offsets[samples], g_counts)
+            ]
+    if samples:
+        g_totals = np.empty(len(samples))
+        for k, (a, b) in enumerate(zip(g_off, g_bnd)):
+            g_totals[k] = gathered[a:b].sum()
+        gt_l = g_totals.tolist()
+        renormed = gathered / np.repeat(
+            g_totals, counts if aligned else g_counts
+        )
+
+    # --- per-request tails ---------------------------------------------
+    for j, k in enumerate(samples):
+        i = need[k]
+        request = requests[i]
+        policy = request.policy
+        frontier = request.frontier
+        assignable = assignables[i]
+        block = probs[off_l[k]:bnd_l[k]]
+        if frontier.parent_data is None:
+            policy._dist_cache = (frontier.data, block, assignable)
+        if gt_l[j] <= 0:
+            replies[i] = policy._finish_sample(frontier, block, assignable)
+            continue
+        picked = renormed[g_off[j]:g_bnd[j]]
+        pick = int(assignable[_sample_index(policy._rng, picked)])
+        peak = peak_l[k]
+        importance = float(block[pick] / peak) if peak > 0 else 1.0
+        replies[i] = (frontier.entry(pick), importance)
+    if not aligned:
+        for k, i in enumerate(need):
+            request = requests[i]
+            if request.kind == "select":
+                replies[i] = _sample_index(
+                    request.policy._rng, probs[off_l[k]:bnd_l[k]]
+                )
+    return replies
+
+
+def replicate_signature(config) -> tuple:
+    """What must coincide for two configs to batch: everything but the
+    replicate fields. Returns a hashable normal form."""
+    from dataclasses import replace
+
+    from repro.campaign.spec import REPLICATE_FIELDS
+
+    return replace(config, **{f: 0 for f in REPLICATE_FIELDS})
+
+
+class BatchedStepper:
+    """Advance N replicate steppers of one config through a request pump.
+
+    Build one with :meth:`for_configs` (shares workload synthesis and the
+    carbon-trace cumulative integral across replicates) or directly from
+    pre-built steppers. The pump (:meth:`_pump`) advances each replicate
+    until it parks at its next scheduler score request — running engine
+    steps that never request scores straight through — then resolves the
+    whole parked wave together (:func:`resolve_requests`) and resumes
+    each replicate toward its next park. Replicates with no wanted events
+    left simply drop out, so the wave stays as wide as the set of live
+    replicates.
+
+    The pump drains completely before returning (no suspended generators
+    survive a public call), so :meth:`checkpoint` / :meth:`restore` reuse
+    the per-replicate pickle contract of
+    :meth:`SimulationStepper.checkpoint` unchanged.
+    """
+
+    def __init__(self, steppers: list[SimulationStepper]) -> None:
+        if not steppers:
+            raise ValueError("need at least one replicate stepper")
+        self.steppers = list(steppers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_configs(cls, configs) -> "BatchedStepper":
+        """Build replicate steppers for one config batch, sharing setup.
+
+        Every config must agree on all non-replicate fields (same policy,
+        workload shape, cluster, grid) — differing only in ``seed`` and/or
+        ``trace_start_step`` — or batching them would be meaningless; a
+        ``ValueError`` names the first mismatch.
+        """
+        from repro.experiments.runner import (
+            carbon_trace_for,
+            simulation_for,
+            workload_for,
+        )
+
+        configs = list(configs)
+        if not configs:
+            raise ValueError("need at least one config")
+        signature = replicate_signature(configs[0])
+        for config in configs[1:]:
+            if replicate_signature(config) != signature:
+                raise ValueError(
+                    "configs in a batch may differ only in replicate "
+                    f"fields; {config} does not match {configs[0]}"
+                )
+        traces: dict = {}
+        steppers = []
+        for config in configs:
+            key = (config.grid, config.trace_hours, config.trace_start_step)
+            trace = traces.get(key)
+            if trace is None:
+                trace = carbon_trace_for(config)
+                traces[key] = trace
+            stepper = simulation_for(config, carbon_trace=trace).stepper()
+            for sub in workload_for(config):
+                stepper.submit(sub)
+            steppers.append(stepper)
+        return cls(steppers)
+
+    # ------------------------------------------------------------------
+    def _park(self, index: int, gens: list, parked: list, want) -> None:
+        """Advance replicate ``index`` to its next score request.
+
+        Runs engine steps back to back — a step that completes without
+        requesting a score (FIFO phases, cache-hit deferral streaks) just
+        rolls into the next — until a step parks at a request or ``want``
+        declines to start another step. ``want`` is consulted only at
+        step boundaries: a step in progress always completes, exactly as
+        in the solo ``advance_until`` loop.
+        """
+        stepper = self.steppers[index]
+        while want(stepper):
+            gen = stepper._step_gen()
+            try:
+                request = next(gen)
+            except StopIteration:
+                continue
+            gens[index], parked[index] = gen, request
+            return
+
+    def _pump(self, want) -> None:
+        """Advance every replicate until ``want`` declines for all.
+
+        Requests from different replicates are resolved in waves; a
+        replicate issuing several requests within one step (PCAPS
+        resampling, multiple assignment-pass selects) rejoins the next
+        wave each time, preserving its internal order. Invariant on
+        entry to each wave: every live replicate is parked at a request
+        (``gens[i] is not None`` iff ``parked[i] is not None``); the
+        pump returns only when no replicate is parked, so no suspended
+        generator outlives the call.
+        """
+        count = len(self.steppers)
+        gens: list = [None] * count
+        parked: list = [None] * count
+        for index in range(count):
+            self._park(index, gens, parked, want)
+        live = [index for index in range(count) if parked[index] is not None]
+        while live:
+            replies = resolve_requests([parked[index] for index in live])
+            advancing = []
+            for index, reply in zip(live, replies):
+                try:
+                    parked[index] = gens[index].send(reply)
+                except StopIteration:
+                    gens[index] = parked[index] = None
+                    self._park(index, gens, parked, want)
+                    if parked[index] is not None:
+                        advancing.append(index)
+                else:
+                    advancing.append(index)
+            live = advancing
+
+    def advance_until(self, t: float) -> None:
+        """Process every replicate's events strictly before ``t``.
+
+        The per-replicate cut-point semantics match
+        :meth:`SimulationStepper.advance_until` exactly: a replicate
+        steps while (and only while) its next event is before ``t``.
+        """
+        self._pump(
+            lambda stepper: bool(stepper.events) and stepper.events[0][0] < t
+        )
+
+    def run_to_completion(self) -> None:
+        """Drain every replicate's event queue."""
+        self._pump(lambda stepper: bool(stepper.events))
+
+    # ------------------------------------------------------------------
+    @property
+    def events_outstanding(self) -> int:
+        return sum(len(stepper.events) for stepper in self.steppers)
+
+    def results(self) -> list[ExperimentResult]:
+        """Per-replicate results, in construction order (all must be done)."""
+        return [stepper.result() for stepper in self.steppers]
+
+    def checkpoint(self) -> list[bytes]:
+        """Per-replicate checkpoint blobs (round-boundary state only)."""
+        return [stepper.checkpoint() for stepper in self.steppers]
+
+    @classmethod
+    def restore(cls, blobs: list[bytes]) -> "BatchedStepper":
+        return cls([SimulationStepper.restore(blob) for blob in blobs])
+
+
+def run_batched(configs) -> list[ExperimentResult]:
+    """Run one replicate batch to completion; results in config order.
+
+    The batched twin of calling
+    :func:`repro.experiments.runner.run_experiment` per config — each
+    returned result is byte-identical to its solo run (the contract the
+    batched fingerprint and differential campaign suites pin).
+    """
+    batch = BatchedStepper.for_configs(configs)
+    batch.run_to_completion()
+    return batch.results()

@@ -66,6 +66,16 @@ class MetricStats:
     @classmethod
     def of(cls, values: Iterable[float]) -> "MetricStats":
         arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError(
+                "MetricStats.of() needs at least one value; an empty "
+                "replicate cell should be dropped before aggregation"
+            )
+        if arr.size == 1:
+            # A single-replicate cell is exact, not an interpolation
+            # question: every statistic *is* the one observation.
+            value = float(arr[0])
+            return cls(mean=value, p50=value, p95=value)
         return cls(
             mean=float(arr.mean()),
             p50=float(np.percentile(arr, 50)),

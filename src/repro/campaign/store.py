@@ -81,7 +81,11 @@ class TrialRecord:
 
     @property
     def ok(self) -> bool:
-        return self.status == STATUS_OK
+        """Successful *and usable*: an ``ok`` status with no metrics (a
+        hand-edited or torn-and-glued store line) must not be served as a
+        resume cache hit — it would permanently mask the trial while
+        crashing every aggregation that reads its metrics."""
+        return self.status == STATUS_OK and self.metrics is not None
 
     # -- ExperimentResult-compatible views (for compare_to_baseline) -----
     @property

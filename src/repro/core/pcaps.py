@@ -19,7 +19,12 @@ from __future__ import annotations
 import math
 
 from repro.core.threshold import psi
-from repro.simulator.interfaces import ProbabilisticPolicy, StageChoice, StageScheduler
+from repro.simulator.interfaces import (
+    ProbabilisticPolicy,
+    StageChoice,
+    StageScheduler,
+    drive_select,
+)
 from repro.simulator.state import ClusterView
 
 
@@ -117,12 +122,15 @@ class PCAPSScheduler(StageScheduler):
         return max(1, math.ceil(base_limit * factor))
 
     def select(self, view: ClusterView) -> StageChoice | None:
+        return drive_select(self.select_gen(view))
+
+    def select_gen(self, view: ClusterView):
         attempts = self.max_resamples if self.defer_scope == "sample" else 1
         reading = view.carbon
         no_machines_busy = view.busy_executors == 0
         chosen = None
         for _ in range(attempts):
-            sampled = self.policy.sample_with_importance(view)
+            sampled = yield from self.policy.sample_with_importance_gen(view)
             if sampled is None:
                 return None
             candidate, importance = sampled

@@ -70,6 +70,75 @@ def _sample_index(rng: np.random.Generator, p: np.ndarray) -> int:
     return int(rng.choice(len(p), p=p))
 
 
+@dataclass
+class ScoreRequest:
+    """A select generator's request to score-and-sample one frontier.
+
+    The generator-based select paths (:meth:`StageScheduler.select_gen`)
+    yield one of these at the exact point the sync path would start
+    computing ``softmax(raw_scores(view, frontier))``, then receive the
+    outcome back via ``send``. Driving a generator inline with
+    :func:`drive_select` resolves each request through the identical
+    operation sequence as the pre-generator sync path, so a solo run's
+    floats (and therefore its RNG draws and its schedule fingerprint)
+    are unchanged.
+
+    A batched driver (:class:`repro.batch.BatchedStepper`) instead
+    collects the concurrent requests of N independent replicates and
+    resolves them together, stacking the operations that are exactly
+    position-independent and probe-guarding the rest.
+
+    Two kinds, matching the two sampling entry points:
+
+    - ``"sample"`` (from :meth:`sample_with_importance_gen`): the reply
+      is the full outcome — ``(ReadyStage, importance)`` or ``None`` —
+      including the Decima action-mask renormalization and the RNG draw
+      from the requesting policy's own generator;
+    - ``"select"`` (from :meth:`ProbabilisticPolicy.select_gen`): the
+      reply is the sampled frontier index (an ``int``).
+    """
+
+    policy: "ProbabilisticPolicy"
+    view: ClusterView
+    frontier: FrontierArrays
+    kind: str = "sample"
+
+    def resolve(self):
+        """Resolve solo, exactly as the pre-generator sync path would."""
+        policy, view, frontier = self.policy, self.view, self.frontier
+        if self.kind == "select":
+            probs = policy._softmax(policy._raw_scores(view, frontier))
+            return _sample_index(policy._rng, probs)
+        assignable = np.flatnonzero(frontier.slots > 0)
+        unfiltered = frontier.parent_data is None
+        if assignable.size == 0:
+            if unfiltered:
+                policy._dist_cache = (frontier.data, None, assignable)
+            return None
+        probs = policy._softmax(policy._raw_scores(view, frontier))
+        # Only unfiltered matrices repeat across calls (mid-pass filtered
+        # retries are one-shot); caching them would evict the reusable
+        # entry.
+        if unfiltered:
+            policy._dist_cache = (frontier.data, probs, assignable)
+        return policy._finish_sample(frontier, probs, assignable)
+
+
+def drive_select(gen):
+    """Run a select generator to completion, resolving requests inline.
+
+    The sync trampoline: equivalent to the pre-generator select methods
+    call for call, because :meth:`ScoreRequest.resolve` is the same
+    ``_softmax(_raw_scores(...))`` expression the sync path inlined.
+    """
+    try:
+        request = next(gen)
+        while True:
+            request = gen.send(request.resolve())
+    except StopIteration as stop:
+        return stop.value
+
+
 @dataclass(frozen=True)
 class StageChoice:
     """A scheduler's decision: grow this stage, up to this parallelism.
@@ -106,6 +175,17 @@ class StageScheduler(abc.ABC):
         the next scheduling event (job arrival, task completion, or carbon
         step) — the deferral mechanism of Algorithm 1.
         """
+
+    def select_gen(self, view: ClusterView):
+        """Generator twin of :meth:`select` (see :class:`ScoreRequest`).
+
+        The default never yields: schedulers without a vectorized scoring
+        path have nothing to batch, so the engine's ``yield from`` simply
+        returns the sync decision. Probabilistic policies override this
+        with a generator that yields its score requests.
+        """
+        return self.select(view)
+        yield  # pragma: no cover - unreachable; marks a generator function
 
     def reset(self) -> None:
         """Clear any per-experiment state (default: stateless)."""
@@ -169,13 +249,51 @@ class ProbabilisticPolicy(StageScheduler):
         """
         raise NotImplementedError
 
+    def _cached_raw_scores(self, frontier: FrontierArrays) -> np.ndarray | None:
+        """Previously computed raw scores for this frontier, or ``None``.
+
+        Subclasses with a score cache (see
+        :class:`~repro.schedulers.decima.DecimaScheduler`) override this
+        probe; the batched resolver consults it so cache hits take the
+        identical shortcut in batched and solo runs.
+        """
+        return None
+
+    def _store_raw_scores(self, frontier: FrontierArrays, raw: np.ndarray) -> None:
+        """Record freshly computed raw scores (cache-store twin of
+        :meth:`_cached_raw_scores`; default: no cache)."""
+
     def _raw_scores(
         self, view: ClusterView, frontier: FrontierArrays
     ) -> np.ndarray:
         """Hook between the sampling entry points and
-        :meth:`scores_from_arrays`; subclasses may interpose caching (see
-        :class:`~repro.schedulers.decima.DecimaScheduler`)."""
-        return self.scores_from_arrays(view, frontier)
+        :meth:`scores_from_arrays`, split into the cache probe / compute /
+        cache store steps the batched resolver replays individually."""
+        cached = self._cached_raw_scores(frontier)
+        if cached is not None:
+            return cached
+        raw = self.scores_from_arrays(view, frontier)
+        self._store_raw_scores(frontier, raw)
+        return raw
+
+    def stack_key(self):
+        """Grouping key for stacked scoring, or ``None`` if unsupported.
+
+        Requests whose policies return equal keys may be scored together
+        by one :meth:`scores_from_stacked` call; the key must therefore
+        capture every hyperparameter the score expression reads.
+        """
+        return None
+
+    def scores_from_stacked(self, frontiers: list[FrontierArrays]) -> list[np.ndarray]:
+        """Score several frontiers (equal :meth:`stack_key`) in one pass.
+
+        Only called by the batched resolver, and only when every frontier
+        comes from a policy with the same :meth:`stack_key`. Must return
+        per-frontier arrays bit-identical to calling
+        :meth:`scores_from_arrays` on each frontier alone.
+        """
+        raise NotImplementedError
 
     def parallelism_limit(self, view: ClusterView, choice: ReadyStage) -> int:
         """Parallelism limit for a chosen stage (default: all its tasks)."""
@@ -222,41 +340,50 @@ class ProbabilisticPolicy(StageScheduler):
         restricted to assignable stages, mirroring Decima's action mask.
         Returns ``None`` when nothing is assignable.
         """
+        return drive_select(self.sample_with_importance_gen(view))
+
+    def _finish_sample(
+        self,
+        full: FrontierArrays,
+        probs: np.ndarray,
+        assignable: np.ndarray,
+    ) -> tuple[ReadyStage, float]:
+        """The action-mask sampling tail shared by every resolution path:
+        renormalize the assignable slice, draw, compute the Definition 4.2
+        importance. One function on purpose — its float-operation order is
+        part of the bit-identity contract."""
+        weights = probs[assignable]
+        total = weights.sum()
+        if total <= 0:
+            weights = np.full(len(assignable), 1.0 / len(assignable))
+        else:
+            weights = weights / total
+        pick = int(assignable[_sample_index(self._rng, weights)])
+        peak = probs.max()
+        importance = float(probs[pick] / peak) if peak > 0 else 1.0
+        return full.entry(pick), importance
+
+    def sample_with_importance_gen(self, view: ClusterView):
+        """Generator form of :meth:`sample_with_importance`.
+
+        Yields one :class:`ScoreRequest` on a distribution-cache miss;
+        cache hits (deferral streaks re-sampling an unchanged frontier)
+        never yield, so a batched driver sees exactly the requests a solo
+        run would compute.
+        """
         if self.vectorized:
             full = view.frontier_arrays(include_saturated=True)
-            data = full.data
             cache = self._dist_cache
-            if cache is not None and cache[0] is data:
+            if cache is not None and cache[0] is full.data:
                 # Same matrix object as the last call (nothing launched or
                 # finished in between — e.g. a deferral streak across
                 # carbon steps): the distribution is unchanged; only the
                 # RNG advances.
                 probs, assignable = cache[1], cache[2]
-            else:
-                assignable = np.flatnonzero(full.slots > 0)
-                probs = None
-            unfiltered = full.parent_data is None
-            if assignable.size == 0:
-                if unfiltered:
-                    self._dist_cache = (data, None, assignable)
-                return None
-            if probs is None:
-                probs = self._softmax(self._raw_scores(view, full))
-                # Only unfiltered matrices repeat across calls (mid-pass
-                # filtered retries are one-shot); caching them would evict
-                # the reusable entry.
-                if unfiltered:
-                    self._dist_cache = (data, probs, assignable)
-            weights = probs[assignable]
-            total = weights.sum()
-            if total <= 0:
-                weights = np.full(len(assignable), 1.0 / len(assignable))
-            else:
-                weights = weights / total
-            pick = int(assignable[_sample_index(self._rng, weights)])
-            peak = probs.max()
-            importance = float(probs[pick] / peak) if peak > 0 else 1.0
-            return full.entry(pick), importance
+                if assignable.size == 0:
+                    return None
+                return self._finish_sample(full, probs, assignable)
+            return (yield ScoreRequest(self, view, full, "sample"))
         full = view.ready_stages(include_saturated=True)
         assignable = [i for i, r in enumerate(full) if r.slots > 0]
         if not assignable:
@@ -274,6 +401,9 @@ class ProbabilisticPolicy(StageScheduler):
         return full[pick], importance
 
     def select(self, view: ClusterView) -> StageChoice | None:
+        return drive_select(self.select_gen(view))
+
+    def select_gen(self, view: ClusterView):
         if self.vectorized:
             frontier = view.frontier_arrays()
             mask = frontier.slots > 0
@@ -281,8 +411,7 @@ class ProbabilisticPolicy(StageScheduler):
                 return None
             if not mask.all():
                 frontier = frontier.compress(mask)
-            probs = self._softmax(self._raw_scores(view, frontier))
-            index = _sample_index(self._rng, probs)
+            index = yield ScoreRequest(self, view, frontier, "select")
             chosen = frontier.entry(index)
         else:
             ready = view.ready_stages()

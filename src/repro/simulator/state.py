@@ -383,16 +383,18 @@ class FrontierArrays:
 
     def entry(self, index: int) -> ReadyStage:
         """Materialize row ``index`` as the equivalent :class:`ReadyStage`."""
-        row = self.data[index]
-        job_id = int(row[self.JOB_ID])
-        stage_id = int(row[self.STAGE_ID])
+        job_id, stage_id, unlaunched, running, slots = self.data[
+            index, : self.BOTTLENECK
+        ].tolist()
+        job_id = int(job_id)
+        stage_id = int(stage_id)
         return ReadyStage(
             job_id,
             stage_id,
             self._jobs[job_id].stages[stage_id].stage,
-            int(row[self.UNLAUNCHED]),
-            int(row[self.RUNNING]),
-            int(row[self.SLOTS]),
+            int(unlaunched),
+            int(running),
+            int(slots),
         )
 
     def entries(self) -> list[ReadyStage]:

@@ -136,32 +136,6 @@ def total_work(submissions) -> float:
     return sum(s.dag.total_work for s in submissions)
 
 
-def schedule_fingerprint(result) -> str:
-    """SHA-256 over a result's task/hold/quota records and carbon tally.
-
-    ``repr()`` of the floats preserves every bit, so two results share a
-    fingerprint iff the engine made the identical decisions at the
-    identical times — the bit-identity contract the stepper, the shared
-    ready cache, and the disruption machinery (with an empty schedule) all
-    pin against ``Simulation.run()``.
-    """
-    import hashlib
-
-    digest = hashlib.sha256()
-    for t in result.trace.tasks:
-        digest.update(
-            repr(
-                (
-                    t.job_id, t.stage_id, t.task_index, t.executor_id,
-                    t.start, t.work_start, t.end, t.preempted,
-                )
-            ).encode()
-        )
-    for h in result.trace.holds:
-        digest.update(
-            repr((h.job_id, h.executor_id, h.start, h.end)).encode()
-        )
-    for q in result.trace.quotas:
-        digest.update(repr((q.time, q.quota)).encode())
-    digest.update(repr(result.carbon_footprint).encode())
-    return digest.hexdigest()
+# Re-exported from the shared differential-testing harness so older
+# suites' ``from conftest import schedule_fingerprint`` keeps working.
+from fingerprint_scenarios import schedule_fingerprint  # noqa: E402,F401

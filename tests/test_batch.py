@@ -1,0 +1,223 @@
+"""Batched replicate engine: bit-identity pins + differential campaign.
+
+The ``repro.batch`` contract, pinned against the shared differential-
+testing harness (:mod:`fingerprint_scenarios`):
+
+- **bit-identity** — a :class:`~repro.batch.BatchedStepper` advancing N
+  replicates of any pinned scenario produces, per replicate, the exact
+  SHA-256 schedule fingerprint of its solo ``Simulation.run()`` — the
+  stacked scoring waves, shared carbon trace, and request pump are
+  invisible in the results;
+- **property coverage** — hypothesis drives random batch widths, seeds,
+  ``advance_until`` cut points, and a mid-batch checkpoint/restore, all
+  of which must leave the fingerprints untouched;
+- **differential campaign** — a batched ``CampaignRunner`` run and a
+  sequential run of the same spec write interchangeable content-addressed
+  store records (same keys, same metric summaries), and a store started
+  in one mode resumes cleanly in the other.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import BatchedStepper, replicate_signature, run_batched
+from repro.campaign.executor import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+
+from fingerprint_scenarios import (
+    PINNED_SCENARIOS,
+    SCENARIO_IDS,
+    run_fingerprint,
+    schedule_fingerprint,
+)
+
+#: Solo fingerprints are pure functions of the config; memoize them so the
+#: property tests don't re-run the sequential reference per example.
+_SOLO: dict = {}
+
+
+def solo_fingerprint(config) -> str:
+    fingerprint = _SOLO.get(config)
+    if fingerprint is None:
+        fingerprint = _SOLO[config] = run_fingerprint(config)
+    return fingerprint
+
+
+def replicates_of(config, extra_seeds=(1, 2), trace_offsets=(977,)):
+    """A replicate group for ``config``: the base trial, seed variants,
+    and trace-start-time variants — the two REPLICATE_FIELDS axes."""
+    group = [config]
+    group += [
+        dataclasses.replace(config, seed=config.seed + 10 + s)
+        for s in extra_seeds
+    ]
+    group += [
+        dataclasses.replace(config, trace_start_step=offset)
+        for offset in trace_offsets
+    ]
+    return group
+
+
+def batched_fingerprints(configs) -> list[str]:
+    return [schedule_fingerprint(r) for r in run_batched(configs)]
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("config", PINNED_SCENARIOS, ids=SCENARIO_IDS)
+    def test_batched_replicates_match_solo_runs(self, config):
+        """The headline pin: every scheduler family, a mixed seed +
+        trace-offset replicate group, byte-for-byte."""
+        configs = replicates_of(config)
+        assert batched_fingerprints(configs) == [
+            solo_fingerprint(c) for c in configs
+        ]
+
+    def test_checkpoint_restore_mid_batch_is_bit_identical(self):
+        """Cut the batch twice, round-trip it through checkpoint blobs in
+        between, and finish — the per-replicate pickle contract survives
+        the pump."""
+        configs = replicates_of(PINNED_SCENARIOS[6])
+        batch = BatchedStepper.for_configs(configs)
+        batch.advance_until(500.0)
+        batch = BatchedStepper.restore(batch.checkpoint())
+        batch.advance_until(40_000.0)
+        batch = BatchedStepper.restore(batch.checkpoint())
+        batch.run_to_completion()
+        assert batch.events_outstanding == 0
+        assert [schedule_fingerprint(r) for r in batch.results()] == [
+            solo_fingerprint(c) for c in configs
+        ]
+
+    def test_single_replicate_batch_matches_solo(self):
+        """Width 1 degenerates to the plain stepper."""
+        config = PINNED_SCENARIOS[3]
+        assert batched_fingerprints([config]) == [solo_fingerprint(config)]
+
+    def test_mismatched_configs_are_rejected(self):
+        """Batching is for replicates only: any non-replicate field
+        difference is a hard error, not a silent mis-batch."""
+        base = PINNED_SCENARIOS[0]
+        other = dataclasses.replace(base, num_executors=base.num_executors + 1)
+        assert replicate_signature(base) != replicate_signature(other)
+        with pytest.raises(ValueError, match="replicate"):
+            BatchedStepper.for_configs([base, other])
+        with pytest.raises(ValueError):
+            BatchedStepper.for_configs([])
+
+
+class TestBatchedProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        scenario=st.sampled_from([3, 6]),  # decima, pcaps: vectorized paths
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=31),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        cuts=st.lists(
+            st.floats(min_value=10.0, max_value=60_000.0), max_size=3
+        ),
+        checkpoint_after=st.integers(min_value=0, max_value=3),
+    )
+    def test_random_batches_bit_match_sequential(
+        self, scenario, seeds, cuts, checkpoint_after
+    ):
+        """Any batch width, any seed mix, any advance_until cut schedule,
+        with a checkpoint/restore thrown in at a random cut — the batched
+        fingerprints equal the N solo runs'."""
+        base = PINNED_SCENARIOS[scenario]
+        configs = [dataclasses.replace(base, seed=seed) for seed in seeds]
+        batch = BatchedStepper.for_configs(configs)
+        for index, cut in enumerate(sorted(cuts)):
+            batch.advance_until(cut)
+            if index == checkpoint_after:
+                batch = BatchedStepper.restore(batch.checkpoint())
+        batch.run_to_completion()
+        assert [schedule_fingerprint(r) for r in batch.results()] == [
+            solo_fingerprint(c) for c in configs
+        ]
+
+
+# ----------------------------------------------------------------------
+# Differential campaign: batched and sequential store records match.
+# ----------------------------------------------------------------------
+def replicate_spec(seeds=(0, 1, 2, 3, 4)) -> CampaignSpec:
+    return CampaignSpec(
+        name="batch-differential",
+        base=PINNED_SCENARIOS[6],
+        axes={"seed": list(seeds)},
+        description="pcaps replicates for the batched differential test",
+    )
+
+
+def run_campaign(tmp_path, name, spec, batch_replicates, resume=True):
+    store = ResultStore(tmp_path / f"{name}.jsonl")
+    runner = CampaignRunner(
+        store, workers=0, batch_replicates=batch_replicates
+    )
+    run = runner.run(spec, resume=resume)
+    return store, run
+
+
+def comparable(records) -> dict:
+    """Everything that must coincide between the two modes: every field
+    except the wall-clock ``duration_s``."""
+    return {
+        r.key: (r.campaign, r.config, r.status, r.metrics, r.attempts)
+        for r in records
+    }
+
+
+class TestDifferentialCampaign:
+    def test_batched_records_identical_to_sequential(self, tmp_path):
+        spec = replicate_spec()
+        seq_store, seq_run = run_campaign(tmp_path, "seq", spec, 1)
+        bat_store, bat_run = run_campaign(tmp_path, "bat", spec, 4)
+        assert not seq_run.failures and not bat_run.failures
+        assert comparable(seq_store.records()) == comparable(
+            bat_store.records()
+        )
+
+    def test_resume_is_interchangeable_between_modes(self, tmp_path):
+        """A store half-filled sequentially finishes batched (and vice
+        versa) without re-running anything, ending at the identical
+        record set either way."""
+        full = replicate_spec()
+        half = replicate_spec(seeds=(0, 1))
+        reference, _ = run_campaign(tmp_path, "ref", full, 1)
+
+        # sequential half, batched finish
+        store_a, _ = run_campaign(tmp_path, "a", half, 1)
+        _, run_a = run_campaign(
+            tmp_path, "a", full, batch_replicates=4
+        )
+        assert run_a.stats.hits == 2  # the half-run trials were reused
+        assert comparable(store_a.records()) == comparable(
+            reference.records()
+        )
+
+        # batched half, sequential finish
+        store_b, _ = run_campaign(tmp_path, "b", half, 4)
+        _, run_b = run_campaign(tmp_path, "b", full, batch_replicates=1)
+        assert run_b.stats.hits == 2
+        assert comparable(store_b.records()) == comparable(
+            reference.records()
+        )
+
+    def test_pool_batched_records_match_inline(self, tmp_path):
+        """The batched pool task path (pickled group payloads, multi-record
+        futures) banks the same records as the inline path."""
+        spec = replicate_spec(seeds=(0, 1, 2))
+        inline_store, _ = run_campaign(tmp_path, "inline", spec, 3)
+        pool_store = ResultStore(tmp_path / "pool.jsonl")
+        run = CampaignRunner(
+            pool_store, workers=2, batch_replicates=3
+        ).run(spec)
+        assert not run.failures
+        assert comparable(pool_store.records()) == comparable(
+            inline_store.records()
+        )

@@ -338,6 +338,52 @@ class TestReports:
         assert stats.p50 == pytest.approx(2.5)
         assert stats.p95 == pytest.approx(3.85)
 
+    def test_metric_stats_single_replicate_is_exact(self):
+        """A one-replicate cell reports p50 == p95 == mean — the exact
+        observation, never NaN or an interpolated percentile."""
+        stats = MetricStats.of([3.7])
+        assert stats.mean == stats.p50 == stats.p95 == 3.7
+
+    def test_metric_stats_empty_raises_cleanly(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            MetricStats.of([])
+
+    def test_single_replicate_cell_renders(self):
+        """Regression: a campaign with one trial per cell must aggregate
+        and render, with every statistic equal to the lone replicate."""
+        records = [
+            ok_record(key="f0", scheduler="fifo", carbon_footprint=180.0),
+            ok_record(key="p0", scheduler="pcaps", carbon_footprint=90.0),
+        ]
+        rows = campaign_report(records)
+        assert [row.n for row in rows] == [1, 1]
+        for row in rows:
+            assert row.carbon.mean == row.carbon.p50 == row.carbon.p95
+            assert row.carbon.mean == row.carbon.mean  # not NaN
+        rendered = format_campaign_report(rows)
+        assert "fifo" in rendered and "pcaps" in rendered
+        assert "nan" not in rendered.lower()
+
+    def test_ok_status_without_metrics_is_not_ok(self):
+        """An ``ok``-status line with no metrics (hand-edited or glued
+        store residue) must not crash reports or serve as a cache hit."""
+        broken = TrialRecord(
+            key="broken", campaign="c",
+            config=config_to_dict(tiny_config()), status=STATUS_OK,
+        )
+        assert not broken.ok
+        assert campaign_report([broken]) == []
+
+    def test_metricless_ok_record_is_not_a_cache_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append(
+            TrialRecord(
+                key="broken", campaign="c",
+                config=config_to_dict(tiny_config()), status=STATUS_OK,
+            )
+        )
+        assert store.completed() == {}  # resume will re-run the trial
+
     def test_normalized_aggregation(self):
         rows = campaign_report(self._records(), baseline="fifo")
         by_scheduler = {row.scheduler: row for row in rows}

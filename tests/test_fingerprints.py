@@ -17,91 +17,21 @@ properties:
 
 import pytest
 
-from repro.carbon.api import CarbonIntensityAPI
 from repro.disrupt import (
     DisruptionEvent,
     DisruptionSchedule,
     install_disruptions,
 )
-from repro.experiments.runner import (
-    ExperimentConfig,
-    build_scheduler,
-    carbon_trace_for,
-    workload_for,
-)
-from repro.simulator.engine import ClusterConfig, Simulation
+from repro.experiments.runner import ExperimentConfig, workload_for
 from repro.workloads.batch import WorkloadSpec
 
-from conftest import schedule_fingerprint
-
-#: The seven pinned-seed scenarios. Scheduler coverage spans every engine
-#: path: hoarding holds (fifo), per-job caps (k8s mode), probabilistic
-#: sampling (decima/pcaps), and both provisioners (cap-*, greenhadoop).
-PINNED_SCENARIOS = [
-    ExperimentConfig(
-        scheduler="fifo", num_executors=5, seed=0,
-        workload=WorkloadSpec(num_jobs=6, mean_interarrival=12.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="k8s-default", num_executors=6, seed=1, mode="kubernetes",
-        per_job_cap=3,
-        workload=WorkloadSpec(num_jobs=6, mean_interarrival=10.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="weighted-fair", num_executors=5, seed=2,
-        workload=WorkloadSpec(num_jobs=7, mean_interarrival=9.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="decima", num_executors=6, seed=3,
-        workload=WorkloadSpec(num_jobs=8, mean_interarrival=8.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="greenhadoop", num_executors=5, seed=4, gh_theta=0.6,
-        workload=WorkloadSpec(num_jobs=6, mean_interarrival=15.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="cap-decima", num_executors=6, seed=5, cap_min_quota=2,
-        workload=WorkloadSpec(num_jobs=7, mean_interarrival=10.0,
-                              tpch_scales=(2,)),
-    ),
-    ExperimentConfig(
-        scheduler="pcaps", num_executors=6, seed=6, gamma=0.7,
-        workload=WorkloadSpec(num_jobs=8, mean_interarrival=10.0,
-                              tpch_scales=(2,)),
-    ),
-]
-
-SCENARIO_IDS = [c.scheduler for c in PINNED_SCENARIOS]
-
-
-def build_simulation(config: ExperimentConfig) -> Simulation:
-    trace = carbon_trace_for(config)
-    scheduler, provisioner = build_scheduler(config, trace)
-    cluster = ClusterConfig(
-        num_executors=config.num_executors,
-        executor_move_delay=config.executor_move_delay,
-        per_job_executor_cap=(
-            config.per_job_cap if config.mode == "kubernetes" else None
-        ),
-        mode=config.mode,
-    )
-    return Simulation(
-        config=cluster,
-        scheduler=scheduler,
-        carbon_api=CarbonIntensityAPI(trace),
-        provisioner=provisioner,
-    )
-
-
-def run_fingerprint(config: ExperimentConfig) -> str:
-    return schedule_fingerprint(
-        build_simulation(config).run(workload_for(config))
-    )
+from fingerprint_scenarios import (  # noqa: F401  (re-exported for suites)
+    PINNED_SCENARIOS,
+    SCENARIO_IDS,
+    build_simulation,
+    run_fingerprint,
+    schedule_fingerprint,
+)
 
 
 class TestPinnedFingerprints:

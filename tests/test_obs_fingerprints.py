@@ -27,14 +27,14 @@ from repro.obs.slo import SloEvaluator, SloRule
 from repro.simulator import engine as engine_mod
 from repro.stream import ServiceRunner, run_service
 
-from conftest import schedule_fingerprint
-from test_fingerprints import (
+from fingerprint_scenarios import (
     PINNED_SCENARIOS,
     SCENARIO_IDS,
     build_simulation,
     run_fingerprint,
+    schedule_fingerprint,
+    stream_config_for,
 )
-from test_streaming_equivalence import stream_config_for
 
 
 def run_observed_fingerprint(config) -> tuple[str, obs.Observer]:

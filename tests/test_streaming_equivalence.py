@@ -28,31 +28,18 @@ from repro.simulator.streaming import (
     replay_result,
 )
 from repro.simulator.trace import TaskRecord
-from repro.stream import ServiceConfig, run_service
-from repro.workloads.stream import StreamSpec
+from repro.stream import run_service
 
 from conftest import make_trace
-from test_fingerprints import PINNED_SCENARIOS, SCENARIO_IDS
+from fingerprint_scenarios import (  # noqa: F401  (re-exported for suites)
+    PINNED_SCENARIOS,
+    SCENARIO_IDS,
+    stream_config_for,
+)
 
 
 def materialized_metrics(config) -> dict:
     return result_metrics(run_experiment(config))
-
-
-def stream_config_for(config) -> ServiceConfig:
-    """The service-mode run equivalent to a pinned batch scenario."""
-    workload = config.workload
-    return ServiceConfig(
-        experiment=config,
-        stream=StreamSpec(
-            family=workload.family,
-            mean_interarrival=workload.mean_interarrival,
-            tpch_scales=workload.tpch_scales,
-            seed=config.seed,
-            max_jobs=workload.num_jobs,
-        ),
-        epoch_events=64,  # several epochs even on tiny scenarios
-    )
 
 
 def assert_bit_identical(streaming: dict, materialized: dict) -> None:
